@@ -1,0 +1,34 @@
+"""Design-choice ablation: the protocol fixes of Section 5.3.4.
+
+The paper diagnoses EM3D-SM's loss as the invalidation protocol's
+4-message producer-consumer exchange and sketches two fixes: consumers
+could *flush* their copies (one replacement message instead of a
+2-message invalidation), and a *bulk update protocol* could carry new
+values in a single message — citing Falsafi et al.'s result that the
+latter made EM3D-SM perform equivalently to EM3D-MP. DESIGN.md lists
+this as a design-choice ablation; this bench measures both fixes.
+"""
+
+from benchmarks.helpers import banner, run_and_check
+
+
+def test_ablation_em3d_protocol_extensions(benchmark):
+    results = run_and_check(benchmark, "em3d_protocols")
+    mp_main = results["mp"].board.mean_total(phase="main")
+    print(banner("EM3D-SM protocol ablation (Section 5.3.4)"))
+    print(f"{'configuration':<22}{'main loop':>12}{'vs MP':>8}"
+          f"{'invals recvd':>14}{'write faults':>14}")
+    print("-" * 70)
+    print(f"{'EM3D-MP (baseline)':<22}{mp_main / 1e3:>10.0f}K{1.0:>7.1f}x"
+          f"{'—':>14}{'—':>14}")
+    for variant in ("base", "flush", "update"):
+        board = results[variant].board
+        main = board.mean_total(phase="main")
+        invals = board.mean_count("invalidations_received", phase="main")
+        faults = board.mean_count("write_faults", phase="main")
+        print(f"{'EM3D-SM ' + variant:<22}{main / 1e3:>10.0f}K"
+              f"{main / mp_main:>7.1f}x{invals:>14.0f}{faults:>14.0f}")
+    update_ratio = results["update"].board.mean_total(phase="main") / mp_main
+    base_ratio = results["base"].board.mean_total(phase="main") / mp_main
+    print(f"\nbulk update narrows SM/MP from {base_ratio:.1f}x to "
+          f"{update_ratio:.1f}x (paper: 'performed equivalently')")

@@ -1,0 +1,21 @@
+"""Section 5.2's in-text figure: collective-strategy comparison.
+
+The paper reports the Gauss broadcast/reduction journey: a flat
+broadcast (119.3M cycles), a binary tree (40.9M), and the final
+lop-sided LogP-derived tree (30.1M). This bench reruns Gauss-MP under
+all three strategies.
+"""
+
+from benchmarks.helpers import banner, run_and_check
+
+
+def test_collective_strategy_ordering(benchmark):
+    totals = run_and_check(benchmark, "gauss_collectives")
+    print(banner("Gauss-MP collective strategies (Section 5.2 text)"))
+    paper = {"flat": 119.3, "binary": 40.9, "lopsided": 30.1}
+    for strategy in ("flat", "binary", "lopsided"):
+        print(
+            f"{strategy:>9}: {totals[strategy] / 1e6:8.2f}M cycles "
+            f"(paper: {paper[strategy]:.1f}M for the collectives alone)"
+        )
+    assert totals["lopsided"] < totals["binary"] < totals["flat"]

@@ -1,0 +1,24 @@
+"""Section 5.2's scalability remark: directory contention vs. machine size.
+
+The paper measures an average 200-cycle directory queue delay and a
+700-cycle average shared miss (vs. ~250 idle) in Gauss-SM at 32
+processors, and warns the delays "will become untenable for larger
+systems". This bench sweeps the processor count at a fixed problem
+size and watches both quantities grow.
+"""
+
+from benchmarks.helpers import banner, run_and_check
+
+
+def test_directory_contention_scaling(benchmark):
+    results = run_and_check(benchmark, "gauss_contention")
+    print(banner("Gauss-SM directory contention vs. processors"))
+    print(f"{'procs':>6}{'mean queue delay':>18}{'avg miss cost':>15}")
+    print("-" * 40)
+    for nprocs in sorted(results):
+        row = results[nprocs]
+        print(f"{nprocs:>6}{row['queue_delay']:>17.0f}c{row['miss_cost']:>14.0f}c")
+    print("\npaper at 32 procs: ~200-cycle queue delay, ~700-cycle miss "
+          "(~250 idle)")
+    procs = sorted(results)
+    assert results[procs[0]]["queue_delay"] < results[procs[-1]]["queue_delay"]

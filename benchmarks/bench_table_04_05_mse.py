@@ -1,0 +1,16 @@
+"""Paper Tables 4 and 5: MSE time breakdowns (MP and SM)."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_breakdown, render_sm_breakdown
+
+
+def test_table_04_mse_mp_breakdown(benchmark):
+    pair = run_and_check(benchmark, "mse")
+    print(banner("Table 4: Microstructure Electrostatics, Message Passing"))
+    print(render_mp_breakdown(pair))
+
+
+def test_table_05_mse_sm_breakdown(benchmark):
+    pair = run_and_check(benchmark, "mse")
+    print(banner("Table 5: Microstructure Electrostatics, Shared Memory"))
+    print(render_sm_breakdown(pair))

@@ -1,0 +1,35 @@
+"""Paper Tables 6 and 7: MSE per-processor event counts."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_counts, render_sm_counts
+
+
+def test_table_06_mse_mp_counts(benchmark):
+    pair = run_and_check(benchmark, "mse")
+    print(banner("Table 6: MSE-MP per-processor event counts"))
+    print(render_mp_counts(pair))
+    counts = pair.mp_counts()
+    # The paper's intensity metric marks MSE as computation-bound
+    # (1452 cycles per data byte); ours must be likewise high.
+    assert counts.comp_cycles_per_data_byte > 50
+
+
+def test_table_07_mse_sm_counts(benchmark):
+    pair = run_and_check(benchmark, "mse")
+    print(banner("Table 7: MSE-SM per-processor event counts"))
+    print(render_sm_counts(pair))
+    counts = pair.sm_counts()
+    # Shared misses are the minority of all misses (paper: 0.04M of
+    # 2.5M), because communication follows the sparse schedule. The
+    # paper's 60:1 ratio comes from capacity-driven private misses at
+    # its working-set scale; at this scale the private side is mostly
+    # cold misses, so only the ordering is asserted.
+    assert counts.shared_misses < counts.private_misses
+    # And the shared misses that do occur cost little time (paper: 5%).
+    from repro.stats.categories import SmCat
+
+    shared_share = (
+        pair.sm_result.board.mean_cycles(SmCat.SHARED_MISS)
+        / pair.sm_breakdown().total
+    )
+    assert shared_share < 0.10

@@ -1,0 +1,21 @@
+"""Paper Tables 8 and 9: Gauss time breakdowns (MP and SM)."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_breakdown, render_sm_breakdown
+
+
+def test_table_08_gauss_mp_breakdown(benchmark):
+    pair = run_and_check(benchmark, "gauss")
+    print(banner("Table 8: Gauss, Message Passing"))
+    print(render_mp_breakdown(pair))
+
+
+def test_table_09_gauss_sm_breakdown(benchmark):
+    pair = run_and_check(benchmark, "gauss")
+    print(banner("Table 9: Gauss, Shared Memory"))
+    print(render_sm_breakdown(pair))
+    sm = pair.sm_breakdown()
+    # Reductions and barriers both appear in synchronization (paper:
+    # reductions 6%, barriers 16%).
+    assert sm.reductions > 0
+    assert sm.barriers > 0

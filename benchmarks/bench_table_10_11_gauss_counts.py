@@ -1,0 +1,31 @@
+"""Paper Tables 10 and 11: Gauss per-processor event counts."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_counts, render_sm_counts
+
+
+def test_table_10_gauss_mp_counts(benchmark):
+    pair = run_and_check(benchmark, "gauss")
+    print(banner("Table 10: Gauss-MP per-processor event counts"))
+    print(render_mp_counts(pair))
+    counts = pair.mp_counts()
+    # Gauss is communication-intensive (paper: 78 cycles/data byte,
+    # versus MSE's 1452).
+    assert counts.comp_cycles_per_data_byte < 200
+    assert counts.channel_writes > 0
+    assert counts.active_messages > 0
+
+
+def test_table_11_gauss_sm_counts(benchmark):
+    pair = run_and_check(benchmark, "gauss")
+    print(banner("Table 11: Gauss-SM per-processor event counts"))
+    print(render_sm_counts(pair))
+    counts = pair.sm_counts()
+    # Broadcast reads of pivot rows: misses overwhelmingly remote and
+    # private misses negligible (paper: 92 private vs 23,590 shared).
+    assert counts.private_misses < 0.2 * counts.shared_misses
+    assert counts.remote_fraction > 0.8
+    # Directory contention (paper: ~200-cycle mean queue delay).
+    delay = pair.extra["directory_queue_delay"]
+    print(f"\nmean directory queue delay: {delay:.0f} cycles (paper: ~200)")
+    assert delay > 0

@@ -1,0 +1,34 @@
+"""Paper Tables 12 and 14: EM3D breakdowns by phase (init/main/total)."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_breakdown, render_sm_breakdown
+
+
+def test_table_12_em3d_mp_breakdown(benchmark):
+    pair = run_and_check(benchmark, "em3d")
+    print(banner("Table 12: EM3D, Message Passing (init / main / total)"))
+    print(render_mp_breakdown(pair, phase="init"))
+    print()
+    print(render_mp_breakdown(pair, phase="main"))
+    print()
+    print(render_mp_breakdown(pair))
+    # Initialization is computation-bound in MP (paper: 91%).
+    init = pair.mp_breakdown(phase="init")
+    assert init.computation / init.total > 0.5
+
+
+def test_table_14_em3d_sm_breakdown(benchmark):
+    pair = run_and_check(benchmark, "em3d")
+    print(banner("Table 14: EM3D, Shared Memory (init / main / total)"))
+    print(render_sm_breakdown(pair, phase="init"))
+    print()
+    print(render_sm_breakdown(pair, phase="main"))
+    print()
+    print(render_sm_breakdown(pair))
+    # The headline: EM3D-SM substantially slower (paper: 200%).
+    ratio = pair.sm_relative_to_mp
+    print(f"\nSM relative to MP: {100 * ratio:.0f}% (paper: 200%)")
+    assert ratio > 1.5
+    # Locks appear in initialization only (paper Section 5.3.2).
+    assert pair.sm_breakdown(phase="init").locks > 0
+    assert pair.sm_breakdown(phase="main").locks == 0

@@ -1,0 +1,30 @@
+"""Paper Tables 13 and 15: EM3D main-loop event counts."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_counts, render_sm_counts
+
+
+def test_table_13_em3d_mp_main_counts(benchmark):
+    pair = run_and_check(benchmark, "em3d")
+    print(banner("Table 13: EM3D-MP event counts (main loop only)"))
+    print(render_mp_counts(pair, phase="main"))
+    counts = pair.mp_counts(phase="main")
+    # Bulk transfer: a couple of channel writes per half-step move what
+    # shared memory pays hundreds of misses for (paper: 200 writes).
+    assert 0 < counts.channel_writes < counts.local_misses + 10_000
+    # Data dominates control on bulk channels (paper: 1.6M vs 0.4M).
+    assert counts.data_bytes > 2 * counts.control_bytes
+
+
+def test_table_15_em3d_sm_main_counts(benchmark):
+    pair = run_and_check(benchmark, "em3d")
+    print(banner("Table 15: EM3D-SM event counts (main loop only)"))
+    print(render_sm_counts(pair, phase="main"))
+    mp = pair.mp_counts(phase="main")
+    sm = pair.sm_counts(phase="main")
+    # The paper's communication-intensity collapse: EM3D-SM moves an
+    # order of magnitude more bytes for the same computation (22.9M vs
+    # 2.0M; cycles/data byte 2 vs 20).
+    assert sm.bytes_transmitted > 3 * mp.bytes_transmitted
+    assert sm.comp_cycles_per_data_byte < mp.comp_cycles_per_data_byte
+    assert sm.remote_fraction > 0.8  # paper: 97% remote

@@ -1,0 +1,27 @@
+"""Paper Tables 18 and 19: synchronous LCP time breakdowns."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.tables import render_mp_breakdown, render_sm_breakdown
+
+
+def test_table_18_lcp_mp_breakdown(benchmark):
+    pair = run_and_check(benchmark, "lcp")
+    print(banner("Table 18: LCP, Message Passing (synchronous)"))
+    print(render_mp_breakdown(pair))
+    mp = pair.mp_breakdown()
+    # Computation dominates but communication is visible (paper: 73%/27%).
+    assert mp.computation / mp.total > 0.5
+    assert mp.communication > 0
+
+
+def test_table_19_lcp_sm_breakdown(benchmark):
+    pair = run_and_check(benchmark, "lcp")
+    print(banner("Table 19: LCP, Shared Memory (synchronous)"))
+    print(render_sm_breakdown(pair))
+    print(f"\nconverged in {pair.extra['sm_steps']} steps (paper: 43)")
+    sm = pair.sm_breakdown()
+    # SM pays both cache misses and synchronization (paper: 20% + 17%).
+    assert sm.data_access > 0
+    assert sm.synchronization > 0
+    # MP is modestly faster (paper: LCP-MP at 86% of LCP-SM).
+    assert pair.mp_relative_to_sm < 1.05

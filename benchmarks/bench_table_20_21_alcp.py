@@ -1,0 +1,32 @@
+"""Paper Tables 20 and 21: asynchronous LCP time breakdowns."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.experiments import run_experiment
+from repro.core.tables import render_mp_breakdown, render_sm_breakdown
+
+
+def test_table_20_alcp_mp_breakdown(benchmark):
+    pair = run_and_check(benchmark, "alcp")
+    sync = run_experiment("lcp")
+    print(banner("Table 20: Asynchronous LCP, Message Passing"))
+    print(render_mp_breakdown(pair))
+    print(f"\nsteps: {pair.extra['mp_steps']} async vs "
+          f"{sync.extra['mp_steps']} sync (paper: 35 vs 43)")
+    # Communication share rises sharply vs the synchronous version
+    # (paper: 27% -> 64%).
+    sync_share = sync.mp_breakdown().communication / sync.mp_total
+    async_share = pair.mp_breakdown().communication / pair.mp_total
+    print(f"communication share: {async_share:.0%} async vs {sync_share:.0%} sync")
+    assert async_share > sync_share
+
+
+def test_table_21_alcp_sm_breakdown(benchmark):
+    pair = run_and_check(benchmark, "alcp")
+    sync = run_experiment("lcp")
+    print(banner("Table 21: Asynchronous LCP, Shared Memory"))
+    print(render_sm_breakdown(pair))
+    # Data-access share rises sharply vs synchronous (paper: 20% -> 64%).
+    sync_share = sync.sm_breakdown().data_access / sync.sm_total
+    async_share = pair.sm_breakdown().data_access / pair.sm_total
+    print(f"\ndata-access share: {async_share:.0%} async vs {sync_share:.0%} sync")
+    assert async_share > sync_share

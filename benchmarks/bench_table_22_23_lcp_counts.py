@@ -1,0 +1,63 @@
+"""Paper Tables 22 and 23: LCP event counts, synchronous vs asynchronous."""
+
+from benchmarks.helpers import banner, run_and_check
+from repro.core.experiments import run_experiment
+from repro.core.tables import render_mp_counts, render_sm_counts
+from repro.stats.report import format_comparison, human_quantity
+
+
+def test_table_22_lcp_mp_counts(benchmark):
+    async_pair = run_and_check(benchmark, "alcp")
+    sync_pair = run_experiment("lcp")
+    print(banner("Table 22: LCP-MP event counts, sync vs async"))
+    sync_counts, async_counts = sync_pair.mp_counts(), async_pair.mp_counts()
+    print(
+        format_comparison(
+            "LCP Message Passing",
+            ["Synchronous", "Asynchronous"],
+            [
+                ("Channel writes",
+                 [human_quantity(sync_counts.channel_writes),
+                  human_quantity(async_counts.channel_writes)]),
+                ("Active messages",
+                 [human_quantity(sync_counts.active_messages),
+                  human_quantity(async_counts.active_messages)]),
+                ("Bytes transmitted",
+                 [human_quantity(sync_counts.bytes_transmitted),
+                  human_quantity(async_counts.bytes_transmitted)]),
+                ("Comp cycles / data byte",
+                 [f"{sync_counts.comp_cycles_per_data_byte:.1f}",
+                  f"{async_counts.comp_cycles_per_data_byte:.1f}"]),
+            ],
+        )
+    )
+    # Channel writes balloon (paper: 220 -> 5,425) per unit of progress.
+    sync_per_step = sync_counts.channel_writes / sync_pair.extra["mp_steps"]
+    async_per_step = async_counts.channel_writes / async_pair.extra["mp_steps"]
+    assert async_per_step > 3 * sync_per_step
+    # Intensity collapses (paper: 29 -> 6).
+    assert (
+        async_counts.comp_cycles_per_data_byte
+        < 0.6 * sync_counts.comp_cycles_per_data_byte
+    )
+
+
+def test_table_23_lcp_sm_counts(benchmark):
+    async_pair = run_and_check(benchmark, "alcp")
+    sync_pair = run_experiment("lcp")
+    print(banner("Table 23: LCP-SM event counts, sync vs async"))
+    print(render_sm_counts(sync_pair))
+    print()
+    print(render_sm_counts(async_pair))
+    sync_counts, async_counts = sync_pair.sm_counts(), async_pair.sm_counts()
+    # Per step of progress, async moves more bytes (paper: 3.7M -> 17.0M
+    # in 43 vs 34 steps).
+    sync_per_step = sync_counts.bytes_transmitted / sync_pair.extra["sm_steps"]
+    async_per_step = async_counts.bytes_transmitted / async_pair.extra["sm_steps"]
+    print(f"\nbytes/step: {async_per_step:.0f} async vs {sync_per_step:.0f} sync")
+    assert async_per_step > 1.5 * sync_per_step
+    # Intensity collapses (paper: 26 -> 4).
+    assert (
+        async_counts.comp_cycles_per_data_byte
+        < 0.6 * sync_counts.comp_cycles_per_data_byte
+    )

@@ -1,0 +1,21 @@
+"""Section 4.1: simulator validation.
+
+The paper validated its message-passing simulator against a physical
+CM-5: three programs ran within 14-27% of the real machine. Without a
+CM-5, this bench validates that the simulators' end-to-end primitive
+latencies compose to the Table 1-3 costs they are built from, within
+the paper's 27% band.
+"""
+
+from benchmarks.helpers import banner, run_and_check
+
+
+def test_validation_microbenchmarks(benchmark):
+    checks = run_and_check(benchmark, "validation")
+    print(banner("Section 4.1: measured vs analytic primitive latencies"))
+    for name, values in checks.items():
+        measured, expected = values["measured"], values["expected"]
+        error = abs(measured - expected) / expected
+        print(f"{name:>22}: measured {measured:6.0f}  expected {expected:6.0f}"
+              f"  ({error:.0%})")
+        assert error <= 0.27

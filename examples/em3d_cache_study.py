@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""EM3D cache and placement study (paper Tables 14, 16, 17).
+
+Runs EM3D-SM across cache sizes and allocation policies and shows how
+the main loop's character changes: with a small cache, capacity misses
+to round-robin-placed data dominate and are nearly all remote; a larger
+cache removes the capacity misses; local placement converts the rest
+from remote to local.
+
+Run:  python examples/em3d_cache_study.py
+"""
+
+from repro.apps.em3d.common import Em3dConfig
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.arch.params import MachineParams
+from repro.core.breakdown import SmBreakdown, SmCounts
+from repro.memory.dataspace import HomePolicy
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+PROCS = 8
+CONFIG = Em3dConfig(
+    nodes_per_proc=80, degree=6, remote_frac=0.2, iterations=5, seed=11
+)
+
+
+def sm_run(cache_bytes, policy):
+    params = MachineParams.paper(num_processors=PROCS).with_cache_bytes(cache_bytes)
+    machine = SmMachine(params, seed=11, allocation_policy=policy)
+    result, _e, _h = run_em3d_sm(machine, CONFIG)
+    breakdown = SmBreakdown.from_board(result.board, phase="main")
+    counts = SmCounts.from_board(result.board, phase="main")
+    return breakdown, counts
+
+
+def main():
+    params = MachineParams.paper(num_processors=PROCS).with_cache_bytes(16 * 1024)
+    mp_result, _e, _h = run_em3d_mp(MpMachine(params, seed=11), CONFIG)
+    mp_main = mp_result.board.mean_total(phase="main")
+    print(f"EM3D-MP main loop: {mp_main / 1e3:.0f}K cycles (the baseline)\n")
+
+    rows = [
+        ("16 KB, round-robin", 16 * 1024, HomePolicy.ROUND_ROBIN),
+        ("64 KB, round-robin", 64 * 1024, HomePolicy.ROUND_ROBIN),
+        ("16 KB, local", 16 * 1024, HomePolicy.LOCAL),
+        ("64 KB, local", 64 * 1024, HomePolicy.LOCAL),
+    ]
+    header = (f"{'configuration':<22}{'main loop':>12}{'vs MP':>8}"
+              f"{'shared misses':>15}{'remote':>8}")
+    print(header)
+    print("-" * len(header))
+    for label, cache, policy in rows:
+        breakdown, counts = sm_run(cache, policy)
+        print(
+            f"{label:<22}{breakdown.total / 1e3:>10.0f}K"
+            f"{breakdown.total / mp_main:>7.1f}x"
+            f"{counts.shared_misses:>15.0f}"
+            f"{counts.remote_fraction:>8.0%}"
+        )
+    print("\nPaper shape: a 4x cache cuts misses to ~1/3 (Table 16); local")
+    print("allocation turns remote misses local and recovers ~1/3 of the")
+    print("main loop (Table 17). Message passing is immune to both knobs —")
+    print("its ghost-node updates are bulk messages, not coherence misses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Software broadcast/reduction strategies (paper Section 5.2).
+
+The simulated machines have no broadcast hardware, so Gauss-MP's pivot
+distribution is pure software. The paper's optimization journey — flat
+broadcast (119.3M cycles), binary tree (40.9M), lop-sided LogP tree
+(30.1M) — is replayed here, along with the shared-memory alternative:
+write + barrier + everyone reads, at hardware speed but with directory
+contention.
+
+Run:  python examples/gauss_collectives.py
+"""
+
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+# The lop-sided tree's advantage over a binary tree grows with the
+# machine; 16 processors is enough to see the paper's ordering.
+PROCS = 16
+CONFIG = GaussConfig(n=96, seed=5)
+
+
+def main():
+    params = MachineParams.paper(num_processors=PROCS)
+    print(f"Gauss, n={CONFIG.n}, {PROCS} processors\n")
+    print(f"{'strategy':<28}{'total cycles':>14}")
+    print("-" * 42)
+    totals = {}
+    for strategy in ("flat", "binary", "lopsided"):
+        machine = MpMachine(params, seed=5, collective_strategy=strategy)
+        result, _x = run_gauss_mp(machine, CONFIG)
+        totals[strategy] = result.board.mean_total()
+        print(f"MP, {strategy + ' tree':<24}{totals[strategy] / 1e6:>13.2f}M")
+
+    sm_machine = SmMachine(params, seed=5)
+    sm_result, _x = run_gauss_sm(sm_machine, CONFIG)
+    sm_total = sm_result.board.mean_total()
+    print(f"{'SM, write+barrier+read':<28}{sm_total / 1e6:>13.2f}M")
+    print(f"\nmean directory queue delay in the SM run: "
+          f"{sm_machine.directory_contention():.0f} cycles (paper: ~200)")
+    print("\nPaper shape: lop-sided < binary < flat; the shared-memory")
+    print("broadcast keeps pace with the best software tree because its")
+    print("invalidations run at hardware speed — until directory queuing")
+    print("grows with the machine (the paper's scalability caveat).")
+    assert totals["lopsided"] < totals["binary"] < totals["flat"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Where is Time Spent in Message-Passing and
+Shared-Memory Programs?" (Chandra, Larus, Rogers; ASPLOS 1994).
+
+Public surface:
+
+* machines: :class:`repro.mp.MpMachine` (CM-5-like message passing) and
+  :class:`repro.sm.SmMachine` (Dir_nNB cache-coherent shared memory);
+* hardware configuration: :class:`repro.arch.MachineParams` (the
+  paper's Tables 1-3);
+* applications: :mod:`repro.apps` (MSE, Gauss, EM3D, LCP — each as an
+  MP/SM pair);
+* the comparative study harness: :mod:`repro.core` (breakdowns, pair
+  studies, and the experiment registry covering every table and figure
+  of the paper's evaluation).
+
+Quick taste::
+
+    from repro.core import run_experiment, get_experiment
+    pair = run_experiment("gauss")
+    print(f"Gauss-MP runs at {100 * pair.mp_relative_to_sm:.0f}% of Gauss-SM")
+
+or, from a shell::
+
+    python -m repro list
+    python -m repro run em3d
+"""
+
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+__version__ = "1.0.0"
+
+__all__ = ["MachineParams", "MpMachine", "SmMachine", "__version__"]

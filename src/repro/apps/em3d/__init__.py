@@ -1,0 +1,15 @@
+"""EM3D: electromagnetic-wave propagation on a bipartite graph
+(paper Section 5.3)."""
+
+from repro.apps.em3d.common import Em3dConfig, Em3dGraph, build_graph, reference_values
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+
+__all__ = [
+    "Em3dConfig",
+    "Em3dGraph",
+    "build_graph",
+    "reference_values",
+    "run_em3d_mp",
+    "run_em3d_sm",
+]

@@ -1,0 +1,327 @@
+"""EM3D-MP: the message-passing EM3D (paper Section 5.3).
+
+Structure follows the Split-C original: one *ghost node per remote
+edge* shadows each remote source value. Initialization exchanges edge
+information between each pair of processors in a single bulk message
+and sets up a CMMD channel per communicating pair, directed straight at
+the receiver's ghost array. In the main loop the only communication is
+a bulk channel write per neighbor per half-step ("sender initiates,
+bulk transfer, static channels" — the three efficiencies the paper
+credits). Flow control is a one-round credit: a small acknowledgement
+message per neighbor per half-step, standing in for CMMD's channel
+handshake.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.em3d.common import E, H, Em3dConfig, Em3dGraph, build_graph
+from repro.mp.machine import MpMachine
+
+#: Handler names.
+_COUNT_HANDLER = "_em3d_edge_count"
+_CREDIT_HANDLER = "_em3d_credit"
+
+
+class _NodeState:
+    """Mutable per-processor state shared with AM handlers."""
+
+    def __init__(self) -> None:
+        # (kind, src_pid) -> announced edge count.
+        self.edge_counts: Dict[Tuple[int, int], int] = {}
+        # (kind, peer) -> rounds of credit granted to us as a sender.
+        self.credits: Dict[Tuple[int, int], int] = defaultdict(lambda: 1)
+
+
+def _on_edge_count(state: _NodeState):
+    def handler(ctx, packet):
+        kind, count = packet.payload
+        state.edge_counts[(kind, packet.src)] = count
+        return
+        yield  # pragma: no cover
+
+    return handler
+
+
+def _on_credit(state: _NodeState):
+    def handler(ctx, packet):
+        (kind,) = packet.payload
+        state.credits[(kind, packet.src)] += 1
+        return
+        yield  # pragma: no cover
+
+    return handler
+
+
+def em3d_mp_program(ctx, config: Em3dConfig, graph: Em3dGraph):
+    """Per-processor EM3D-MP program. Returns (e_values, h_values)."""
+    n = config.nodes_per_proc
+    me, nprocs = ctx.pid, ctx.nprocs
+    state = _NodeState()
+    ctx.am.register(_COUNT_HANDLER, _on_edge_count(state))
+    ctx.am.register(_CREDIT_HANDLER, _on_credit(state))
+
+    values = {}  # kind -> Region of this node's values
+    ghosts = {}  # src_kind -> Region of ghost slots for remote sources
+    csr = {}  # kind -> (indptr Region, refs Region, weights Region)
+    send_lists = {}  # src_kind -> {dest: [local src indices]}
+    send_channels = {}  # (src_kind, dest) -> SendChannel
+    recv_channels = {}  # (src_kind, src) -> RecvChannel
+    recv_bytes = {}  # (src_kind, src) -> bytes per round
+
+    with ctx.stats.phase("init"):
+        # Graph generation: random edges, node allocation, pointer setup.
+        from repro.apps.em3d.common import BUILD_OPS_PER_EDGE, BUILD_OPS_PER_NODE
+
+        total_out = sum(len(graph.out_edges[k][me]) for k in (E, H))
+        yield from ctx.compute(
+            ctx.costs.int_ops(
+                BUILD_OPS_PER_EDGE * total_out + BUILD_OPS_PER_NODE * 2 * n
+            )
+        )
+        for kind in (E, H):
+            values[kind] = ctx.alloc(f"vals{kind}", n)
+            yield from ctx.write(values[kind], 0, values=graph.initial_values(kind, me))
+
+        # --- exchange edge information, one bulk message per pair -------
+        for src_kind in (E, H):
+            my_out = graph.out_edges[src_kind][me]
+            by_dest: Dict[int, List[Tuple[int, int, float]]] = defaultdict(list)
+            local_triples: List[Tuple[int, int, float]] = []
+            for src, dest_pid, dest, weight in my_out:
+                if dest_pid == me:
+                    local_triples.append((src, dest, weight))
+                else:
+                    by_dest[dest_pid].append((src, dest, weight))
+            # The grouping pass reads the out-edge list once.
+            yield from ctx.compute(ctx.costs.int_ops(4 * len(my_out)))
+            # Announce counts.
+            for peer in range(nprocs):
+                if peer == me:
+                    continue
+                yield from ctx.am.send(
+                    peer, _COUNT_HANDLER, src_kind, len(by_dest.get(peer, ()))
+                )
+        # Wait for all announcements.
+        expected = {(k, p) for k in (E, H) for p in range(nprocs) if p != me}
+        yield from ctx.poll_wait(lambda: expected <= set(state.edge_counts))
+
+        edge_buffers = {}
+        incoming_offsets = {}
+        for src_kind in (E, H):
+            total_in = sum(
+                state.edge_counts[(src_kind, p)] for p in range(nprocs) if p != me
+            )
+            edge_buffers[src_kind] = ctx.alloc(
+                f"edgebuf{src_kind}", max(3 * total_in, 1)
+            )
+            offsets = {}
+            cursor = 0
+            for peer in range(nprocs):
+                if peer == me:
+                    continue
+                count = state.edge_counts[(src_kind, peer)]
+                offsets[peer] = (cursor, count)
+                cursor += 3 * count
+            incoming_offsets[src_kind] = offsets
+            # Offer receive channels first (deadlock-free rendezvous).
+            for peer in range(nprocs):
+                if peer == me:
+                    continue
+                offset, count = offsets[peer]
+                if count == 0:
+                    continue
+                channel = yield from ctx.cmmd.offer_channel(
+                    peer,
+                    edge_buffers[src_kind],
+                    offset,
+                    offset + 3 * count,
+                    key=f"edges{src_kind}",
+                )
+                recv_channels[("edges", src_kind, peer)] = channel
+        # Send our edge triples in bulk.
+        for src_kind in (E, H):
+            my_out = graph.out_edges[src_kind][me]
+            by_dest = defaultdict(list)
+            for src, dest_pid, dest, weight in my_out:
+                if dest_pid != me:
+                    by_dest[dest_pid].append((src, dest, weight))
+            send_lists[src_kind] = {
+                dest: [t[0] for t in triples] for dest, triples in by_dest.items()
+            }
+            for dest in sorted(by_dest):
+                triples = by_dest[dest]
+                flat = np.array(
+                    [v for t in triples for v in (float(t[0]), float(t[1]), t[2])]
+                )
+                channel = yield from ctx.cmmd.accept_channel(
+                    dest, key=f"edges{src_kind}"
+                )
+                yield from ctx.cmmd.write_channel(channel, flat)
+        # Await all incoming edge bulk messages.
+        for src_kind in (E, H):
+            for peer in range(nprocs):
+                key = ("edges", src_kind, peer)
+                if key in recv_channels:
+                    yield from ctx.cmmd.wait_channel(recv_channels[key])
+
+        # --- build ghost slots and the in-edge (CSR) structure -----------
+        for dest_kind in (E, H):
+            src_kind = H if dest_kind == E else E
+            # Pass 1 over edge info: in-degrees.
+            indeg = np.zeros(n, dtype=np.int64)
+            my_out = graph.out_edges[src_kind][me]
+            local_triples = [
+                (s, d, w) for (s, dp, d, w) in my_out if dp == me
+            ]
+            arrivals: List[Tuple[int, List[Tuple[int, int, float]]]] = []
+            offsets = incoming_offsets[src_kind]
+            for peer in sorted(offsets):
+                offset, count = offsets[peer]
+                if count == 0:
+                    continue
+                flat = yield from ctx.read(
+                    edge_buffers[src_kind], offset, offset + 3 * count
+                )
+                triples = [
+                    (int(flat[3 * j]), int(flat[3 * j + 1]), float(flat[3 * j + 2]))
+                    for j in range(count)
+                ]
+                arrivals.append((peer, triples))
+            for _src, dest, _w in local_triples:
+                indeg[dest] += 1
+            for _peer, triples in arrivals:
+                for _src, dest, _w in triples:
+                    indeg[dest] += 1
+            total_edges = int(indeg.sum())
+            yield from ctx.compute(ctx.costs.int_ops(2 * total_edges))
+
+            # Pass 2: record refs. Ghost slots are assigned in arrival
+            # order (one per remote edge), matching the sender's list.
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indptr[1:] = np.cumsum(indeg)
+            refs = np.zeros(max(total_edges, 1), dtype=np.int64)
+            weights = np.zeros(max(total_edges, 1), dtype=np.float64)
+            cursor = indptr[:-1].copy()
+            n_ghosts = sum(len(t) for _p, t in arrivals)
+            ghost_region = ctx.alloc(f"ghost{src_kind}", max(n_ghosts, 1))
+            ghost_offset_of_peer = {}
+            ghost_slot = 0
+            for _src, dest, weight in local_triples:
+                refs[cursor[dest]] = _src  # local H/E index
+                weights[cursor[dest]] = weight
+                cursor[dest] += 1
+            for peer, triples in arrivals:
+                ghost_offset_of_peer[peer] = ghost_slot
+                for _src, dest, weight in triples:
+                    refs[cursor[dest]] = n + ghost_slot  # ghost reference
+                    weights[cursor[dest]] = weight
+                    cursor[dest] += 1
+                    ghost_slot += 1
+            yield from ctx.compute(ctx.costs.int_ops(6 * total_edges))
+
+            indptr_region = ctx.alloc(f"indptr{dest_kind}", n + 1, dtype=np.int64)
+            refs_region = ctx.alloc(
+                f"refs{dest_kind}", max(total_edges, 1), dtype=np.int64
+            )
+            w_region = ctx.alloc(f"w{dest_kind}", max(total_edges, 1))
+            yield from ctx.write(indptr_region, 0, values=indptr)
+            if total_edges:
+                yield from ctx.write(refs_region, 0, values=refs)
+                yield from ctx.write(w_region, 0, values=weights)
+            csr[dest_kind] = (indptr_region, refs_region, w_region)
+            ghosts[src_kind] = ghost_region
+
+            # Offer the per-source main-loop channels over ghost slices.
+            for peer, triples in arrivals:
+                offset = ghost_offset_of_peer[peer]
+                channel = yield from ctx.cmmd.offer_channel(
+                    peer,
+                    ghost_region,
+                    offset,
+                    offset + len(triples),
+                    key=f"ghost{src_kind}",
+                )
+                recv_channels[("ghost", src_kind, peer)] = channel
+                recv_bytes[(src_kind, peer)] = len(triples) * 8
+        # Claim send channels toward every dependent processor.
+        for src_kind in (E, H):
+            for dest in sorted(send_lists[src_kind]):
+                channel = yield from ctx.cmmd.accept_channel(
+                    dest, key=f"ghost{src_kind}"
+                )
+                send_channels[(src_kind, dest)] = channel
+        yield from ctx.barrier()
+
+    with ctx.stats.phase("main"):
+        for iteration in range(config.iterations):
+            for dest_kind in (E, H):
+                src_kind = H if dest_kind == E else E
+                # Each src_kind is transferred once per iteration; the
+                # credit counter for (src_kind, peer) tracks that series.
+                round_number = iteration + 1
+                # Send my source values to every dependent processor.
+                for dest in sorted(send_lists[src_kind]):
+                    src_list = send_lists[src_kind][dest]
+                    yield from ctx.poll_wait(
+                        lambda d=dest: state.credits[(src_kind, d)] >= round_number
+                    )
+                    outgoing = yield from ctx.read_gather(
+                        values[src_kind], src_list
+                    )
+                    yield from ctx.cmmd.write_channel(
+                        send_channels[(src_kind, dest)], outgoing
+                    )
+                # Await this round's ghosts.
+                for peer in range(nprocs):
+                    key = ("ghost", src_kind, peer)
+                    if key in recv_channels:
+                        yield from ctx.cmmd.wait_channel(
+                            recv_channels[key], recv_bytes[(src_kind, peer)]
+                        )
+                        yield from ctx.am.send(peer, _CREDIT_HANDLER, src_kind)
+                # Compute the half-step from local values and ghosts.
+                indptr_region, refs_region, w_region = csr[dest_kind]
+                indptr = indptr_region.np
+                src_vals = values[src_kind].np
+                ghost_vals = ghosts[src_kind].np
+                new_vals = np.zeros(n)
+                for i in range(n):
+                    start, end = int(indptr[i]), int(indptr[i + 1])
+                    if start == end:
+                        continue
+                    refs = yield from ctx.read(refs_region, start, end)
+                    ws = yield from ctx.read(w_region, start, end)
+                    local_mask = refs < n
+                    acc = 0.0
+                    if local_mask.any():
+                        idx = refs[local_mask]
+                        vals = yield from ctx.read_gather(values[src_kind], idx)
+                        acc += float(np.dot(ws[local_mask], vals))
+                    if (~local_mask).any():
+                        idx = refs[~local_mask] - n
+                        vals = yield from ctx.read_gather(ghosts[src_kind], idx)
+                        acc += float(np.dot(ws[~local_mask], vals))
+                    new_vals[i] = acc
+                    degree = end - start
+                    # Per edge: multiply-add plus pointer chasing/index
+                    # arithmetic (the Split-C loop body).
+                    yield from ctx.compute_flops(2 * degree)
+                    yield from ctx.compute(ctx.costs.int_ops(8 * degree))
+                yield from ctx.compute(ctx.costs.loop(n))
+                yield from ctx.write(values[dest_kind], 0, values=new_vals)
+        yield from ctx.barrier()
+    return values[E].np.copy(), values[H].np.copy()
+
+
+def run_em3d_mp(machine: MpMachine, config: Em3dConfig):
+    """Run EM3D-MP; returns (result, e_values, h_values) stacked by proc."""
+    graph = build_graph(config, machine.nprocs)
+    result = machine.run(em3d_mp_program, config, graph)
+    e_vals = np.stack([out[0] for out in result.outputs])
+    h_vals = np.stack([out[1] for out in result.outputs])
+    return result, e_vals, h_vals

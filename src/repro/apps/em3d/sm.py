@@ -1,0 +1,299 @@
+"""EM3D-SM: the shared-memory EM3D (paper Section 5.3).
+
+No ghost nodes: caching is expected to exploit temporal locality, and
+node *value* fields live in their own shared vectors for spatial
+locality (as the paper's version does). Everything — values, adjacency
+structure, weights — is allocated from the shared segment with the
+machine's placement policy: round-robin by default (the paper's
+gmalloc), or local placement for the Table 17 ablation.
+
+Initialization builds the reverse-edge structure with locks and remote
+writes: each processor updates in-degree counts and then records
+refs/weights into the *sink* processor's arrays, lock-protected per
+target processor. The main loop separates half-steps with barriers and
+pays the full invalidation-protocol cost of producer-consumer reuse:
+four messages per updated remote value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.em3d.common import E, H, Em3dConfig, Em3dGraph, build_graph
+from repro.sm.machine import SmMachine, SmRunResult
+
+
+#: Main-loop variants. "base" is the paper's EM3D-SM; "flush" applies
+#: the Section 5.3.4 consumer-flush suggestion (2-message invalidations
+#: become 1-message replacements); "prefetch" issues cooperative
+#: prefetches for the half-step's remote sources right after the
+#: barrier ("a consumer need not worry about issuing a prefetch too
+#: early"); "update" replaces invalidation with the bulk-update
+#: protocol (Falsafi et al.), which made EM3D-SM perform equivalently
+#: to EM3D-MP.
+VARIANTS = ("base", "flush", "prefetch", "update")
+
+
+def em3d_sm_program(
+    ctx, config: Em3dConfig, graph: Em3dGraph, shared: Dict, variant: str = "base"
+):
+    """Per-processor EM3D-SM program. Returns (e_values, h_values)."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    n = config.nodes_per_proc
+    me, nprocs = ctx.pid, ctx.nprocs
+    # Striped locks protecting each target processor's node metadata:
+    # finer than one lock per processor (the paper's updates are
+    # per-node), coarse enough to keep lock state compact.
+    stripes = 8
+    locks = [
+        [ctx.machine.make_lock(f"em3d.node{p}.s{s}") for s in range(stripes)]
+        for p in range(nprocs)
+    ]
+
+    def lock_for(dest_pid: int, dest: int):
+        return locks[dest_pid][dest % stripes]
+
+    value_protocol = "update" if variant == "update" else "dir"
+
+    with ctx.stats.phase("init"):
+        if me == 0:
+            for pid in range(nprocs):
+                for kind in (E, H):
+                    shared[("vals", kind, pid)] = ctx.gmalloc(
+                        f"vals{kind}.{pid}", n, protocol=value_protocol
+                    )
+                    shared[("indeg", kind, pid)] = ctx.gmalloc(
+                        f"indeg{kind}.{pid}", n, dtype=np.int64
+                    )
+                    shared[("cursor", kind, pid)] = ctx.gmalloc(
+                        f"cursor{kind}.{pid}", n, dtype=np.int64
+                    )
+            ctx.create()
+        else:
+            yield from ctx.wait_create()
+
+        # Graph generation: random edges, node allocation, pointer setup
+        # (the same construction work as EM3D-MP).
+        from repro.apps.em3d.common import BUILD_OPS_PER_EDGE, BUILD_OPS_PER_NODE
+
+        total_out = sum(len(graph.out_edges[k][me]) for k in (E, H))
+        yield from ctx.compute(
+            ctx.costs.int_ops(
+                BUILD_OPS_PER_EDGE * total_out + BUILD_OPS_PER_NODE * 2 * n
+            )
+        )
+        for kind in (E, H):
+            yield from ctx.write(
+                shared[("vals", kind, me)], 0, values=graph.initial_values(kind, me)
+            )
+        yield from ctx.barrier()
+
+        # Pass 1: in-degree counts. Local edges are tallied in a private
+        # array (the owner merges them after the barrier); only updates
+        # to *remote* sinks take the sink processor's lock — the lock
+        # and remote-write costs the paper attributes to initialization.
+        local_indeg = {kind: np.zeros(n, dtype=np.int64) for kind in (E, H)}
+        for src_kind in (E, H):
+            dest_kind = H if src_kind == E else E
+            my_out = graph.out_edges[src_kind][me]
+            for src, dest_pid, dest, _weight in my_out:
+                if dest_pid == me:
+                    local_indeg[dest_kind][dest] += 1
+                    continue
+                indeg = shared[("indeg", dest_kind, dest_pid)]
+                lock = lock_for(dest_pid, dest)
+                yield from lock.acquire(ctx)
+                counts = yield from ctx.read(indeg, dest, dest + 1)
+                yield from ctx.write(indeg, dest, values=[int(counts[0]) + 1])
+                yield from lock.release(ctx)
+            yield from ctx.compute(ctx.costs.int_ops(4 * len(my_out)))
+        yield from ctx.barrier()
+
+        # Owners merge local counts and build CSR skeletons. The shared
+        # cursor starts past the owner's reserved local slots.
+        for dest_kind in (E, H):
+            indeg_region = shared[("indeg", dest_kind, me)]
+            remote_indeg = np.array(
+                (yield from ctx.read(indeg_region))
+            ).astype(np.int64)
+            indeg = remote_indeg + local_indeg[dest_kind]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indptr[1:] = np.cumsum(indeg)
+            total = int(indptr[-1])
+            yield from ctx.compute(ctx.costs.int_ops(3 * n))
+            indptr_region = ctx.gmalloc(f"indptr{dest_kind}.{me}", n + 1, dtype=np.int64)
+            refs_region = ctx.gmalloc(
+                f"refs{dest_kind}.{me}", max(total, 1), dtype=np.int64
+            )
+            w_region = ctx.gmalloc(f"w{dest_kind}.{me}", max(total, 1))
+            yield from ctx.write(indptr_region, 0, values=indptr)
+            yield from ctx.write(
+                shared[("cursor", dest_kind, me)],
+                0,
+                values=indptr[:-1] + local_indeg[dest_kind],
+            )
+            shared[("indptr", dest_kind, me)] = indptr_region
+            shared[("refs", dest_kind, me)] = refs_region
+            shared[("w", dest_kind, me)] = w_region
+        # Record this processor's local edges into its reserved slots
+        # (no locks: nobody else touches them).
+        local_cursor = {
+            kind: np.zeros(n, dtype=np.int64) for kind in (E, H)
+        }
+        for dest_kind in (E, H):
+            indptr = shared[("indptr", dest_kind, me)].np
+            src_kind = H if dest_kind == E else E
+            refs = shared[("refs", dest_kind, me)]
+            weights = shared[("w", dest_kind, me)]
+            for src, dest_pid, dest, weight in graph.out_edges[src_kind][me]:
+                if dest_pid != me:
+                    continue
+                slot = int(indptr[dest] + local_cursor[dest_kind][dest])
+                local_cursor[dest_kind][dest] += 1
+                yield from ctx.write(refs, slot, values=[me * n + src])
+                yield from ctx.write(weights, slot, values=[weight])
+                yield from ctx.compute(ctx.costs.int_ops(6))
+        yield from ctx.barrier()
+
+        # Pass 2: record *remote* refs/weights into the sink's arrays,
+        # lock-protected (remote writes miss nearly every time — another
+        # processor invalidates the block before it can be reused).
+        for src_kind in (E, H):
+            dest_kind = H if src_kind == E else E
+            for src, dest_pid, dest, weight in graph.out_edges[src_kind][me]:
+                if dest_pid == me:
+                    continue
+                cursor = shared[("cursor", dest_kind, dest_pid)]
+                refs = shared[("refs", dest_kind, dest_pid)]
+                weights = shared[("w", dest_kind, dest_pid)]
+                lock = lock_for(dest_pid, dest)
+                yield from lock.acquire(ctx)
+                slot_vals = yield from ctx.read(cursor, dest, dest + 1)
+                slot = int(slot_vals[0])
+                yield from ctx.write(refs, slot, values=[me * n + src])
+                yield from ctx.write(weights, slot, values=[weight])
+                yield from ctx.write(cursor, dest, values=[slot + 1])
+                yield from lock.release(ctx)
+                yield from ctx.compute(ctx.costs.int_ops(6))
+        yield from ctx.barrier()
+
+    # Consumers of each kind of my values, and which of my node indices
+    # they read (used by the "update" variant's pushes).
+    push_lists: Dict[int, Dict[int, List[int]]] = {E: {}, H: {}}
+    if variant == "update":
+        for kind in (E, H):
+            by_dest: Dict[int, set] = {}
+            for src, dest_pid, _dest, _w in graph.out_edges[kind][me]:
+                if dest_pid != me:
+                    by_dest.setdefault(dest_pid, set()).add(src)
+            push_lists[kind] = {
+                dest: sorted(srcs) for dest, srcs in by_dest.items()
+            }
+    # Remote sources this node gathers per half-step (used by the
+    # "prefetch" variant). Derived from the same edge knowledge the
+    # initialization phase built into the CSR structure.
+    prefetch_lists: Dict[int, Dict[int, List[int]]] = {E: {}, H: {}}
+    if variant == "prefetch":
+        for dest_kind in (E, H):
+            by_src: Dict[int, set] = {}
+            for deps in graph.in_edges(dest_kind, me):
+                for sp, si, _w in deps:
+                    if sp != me:
+                        by_src.setdefault(sp, set()).add(si)
+            prefetch_lists[dest_kind] = {
+                sp: sorted(indices) for sp, indices in by_src.items()
+            }
+
+    with ctx.stats.phase("main"):
+        indptr_cache = {
+            kind: np.array(shared[("indptr", kind, me)].np) for kind in (E, H)
+        }
+        for _iteration in range(config.iterations):
+            for dest_kind in (E, H):
+                src_kind = H if dest_kind == E else E
+                indptr = indptr_cache[dest_kind]
+                refs_region = shared[("refs", dest_kind, me)]
+                w_region = shared[("w", dest_kind, me)]
+                my_vals = shared[("vals", dest_kind, me)]
+                new_vals = np.zeros(n)
+                remote_reads: Dict[int, set] = {}
+                # Touch the indptr once per half-step (it is read-shared).
+                yield from ctx.read(shared[("indptr", dest_kind, me)])
+                if variant == "prefetch":
+                    # Cooperative prefetch of this half-step's remote
+                    # sources; replies overlap with the local compute.
+                    for sp in sorted(prefetch_lists[dest_kind]):
+                        yield from ctx.prefetch_gather(
+                            shared[("vals", src_kind, sp)],
+                            prefetch_lists[dest_kind][sp],
+                        )
+                for i in range(n):
+                    start, end = int(indptr[i]), int(indptr[i + 1])
+                    if start == end:
+                        continue
+                    refs = yield from ctx.read(refs_region, start, end)
+                    ws = yield from ctx.read(w_region, start, end)
+                    acc = 0.0
+                    by_proc: Dict[int, Tuple[List[int], List[float]]] = {}
+                    for ref, weight in zip(refs, ws):
+                        sp, si = divmod(int(ref), n)
+                        entry = by_proc.setdefault(sp, ([], []))
+                        entry[0].append(si)
+                        entry[1].append(float(weight))
+                    for sp, (indices, wlist) in sorted(by_proc.items()):
+                        vals = yield from ctx.read_gather(
+                            shared[("vals", src_kind, sp)], indices
+                        )
+                        acc += float(np.dot(np.asarray(wlist), vals))
+                        if variant == "flush" and sp != me:
+                            remote_reads.setdefault(sp, set()).update(indices)
+                    new_vals[i] = acc
+                    degree = end - start
+                    # Per edge: multiply-add plus pointer chasing/index
+                    # arithmetic (same loop body as EM3D-MP).
+                    yield from ctx.compute_flops(2 * degree)
+                    yield from ctx.compute(ctx.costs.int_ops(8 * degree))
+                yield from ctx.compute(ctx.costs.loop(n))
+                if variant == "flush":
+                    # Consumer flush: release remote source copies so the
+                    # producers' next writes need no invalidation round.
+                    for sp in sorted(remote_reads):
+                        yield from ctx.flush_gather(
+                            shared[("vals", src_kind, sp)],
+                            sorted(remote_reads[sp]),
+                        )
+                yield from ctx.write(my_vals, 0, values=new_vals)
+                if variant == "update":
+                    # Bulk-update push: one message per consumer carries
+                    # the blocks it reads (instead of invalidations now
+                    # and misses later).
+                    for dest in sorted(push_lists[dest_kind]):
+                        yield from ctx.push_update(
+                            my_vals, push_lists[dest_kind][dest], [dest]
+                        )
+                # Barrier between half-steps: no one may read a value
+                # before it is computed.
+                yield from ctx.barrier()
+    return (
+        shared[("vals", E, me)].np.copy(),
+        shared[("vals", H, me)].np.copy(),
+    )
+
+
+def run_em3d_sm(
+    machine: SmMachine, config: Em3dConfig, variant: str = "base"
+) -> Tuple[SmRunResult, np.ndarray, np.ndarray]:
+    """Run EM3D-SM; returns (result, e_values, h_values) stacked by proc.
+
+    ``variant``: "base" (the paper's program), "flush" (consumer
+    flushes, Section 5.3.4), or "update" (bulk-update protocol).
+    """
+    graph = build_graph(config, machine.nprocs)
+    shared: Dict = {}
+    result = machine.run(em3d_sm_program, config, graph, shared, variant)
+    e_vals = np.stack([out[0] for out in result.outputs])
+    h_vals = np.stack([out[1] for out in result.outputs])
+    return result, e_vals, h_vals

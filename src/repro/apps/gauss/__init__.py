@@ -1,0 +1,13 @@
+"""Gaussian elimination with partial pivoting (paper Section 5.2)."""
+
+from repro.apps.gauss.common import GaussConfig, generate_system, residual
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+
+__all__ = [
+    "GaussConfig",
+    "generate_system",
+    "residual",
+    "run_gauss_mp",
+    "run_gauss_sm",
+]

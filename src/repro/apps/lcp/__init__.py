@@ -1,0 +1,13 @@
+"""LCP: linear complementarity by multi-sweep SOR (paper Section 5.4)."""
+
+from repro.apps.lcp.common import LcpConfig, LcpProblem, generate_problem
+from repro.apps.lcp.mp import run_lcp_mp
+from repro.apps.lcp.sm import run_lcp_sm
+
+__all__ = [
+    "LcpConfig",
+    "LcpProblem",
+    "generate_problem",
+    "run_lcp_mp",
+    "run_lcp_sm",
+]

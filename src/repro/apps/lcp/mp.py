@@ -1,0 +1,177 @@
+"""LCP-MP and ALCP-MP: message-passing multi-sweep SOR (paper Section 5.4).
+
+LCP-MP (synchronous): each processor sweeps its rows against a private
+copy of the solution vector; at the end of each step the copies are
+reconciled with an all-to-all exchange in log2(P) point-to-point stages
+across CMMD channels (recursive doubling), and a software reduction
+tests convergence.
+
+ALCP-MP (asynchronous): bulk updates are pushed to *all* other
+processors after every sweep (a star communication); receivers fold
+them in whenever they poll. Fewer steps to converge, far more
+communication — the tradeoff of paper Tables 20/22.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.lcp.common import (
+    SWEEP_INT_OPS_PER_NNZ,
+    LcpConfig,
+    LcpProblem,
+    generate_problem,
+    row_block,
+)
+from repro.mp.machine import MpMachine, MpRunResult
+
+#: Initialization cost per CSR entry (allocation + fill).
+_BUILD_OPS_PER_NNZ = 20
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _sweep(ctx, problem, regions, z_region, lo, hi, omega):
+    """One Gauss-Seidel sweep over the local rows against ``z_region``."""
+    indptr = problem.indptr
+    for i in range(lo, hi):
+        start, end = int(indptr[i]), int(indptr[i + 1])
+        local = start - int(indptr[lo])
+        cols = yield from ctx.read(
+            regions["indices"], local, local + (end - start)
+        )
+        vals = yield from ctx.read(regions["data"], local, local + (end - start))
+        z_cols = yield from ctx.read_gather(z_region, cols)
+        z_i = yield from ctx.read(z_region, i, i + 1)
+        residual_i = (
+            problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
+        )
+        new_value = max(0.0, float(z_i[0]) - omega * residual_i / problem.diag[i])
+        yield from ctx.write(z_region, i, values=[new_value])
+        yield from ctx.compute_flops(2 * (end - start) + 4)
+        yield from ctx.compute(
+            ctx.costs.divs(1)
+            + ctx.costs.int_ops(4 + SWEEP_INT_OPS_PER_NNZ * (end - start))
+        )
+
+
+def _local_residual(ctx, problem, regions, z_region, lo, hi):
+    """Complementarity residual over the local rows (one full pass)."""
+    indptr = problem.indptr
+    worst = 0.0
+    for i in range(lo, hi):
+        start, end = int(indptr[i]), int(indptr[i + 1])
+        local = start - int(indptr[lo])
+        cols = yield from ctx.read(regions["indices"], local, local + (end - start))
+        vals = yield from ctx.read(regions["data"], local, local + (end - start))
+        z_cols = yield from ctx.read_gather(z_region, cols)
+        z_i = yield from ctx.read(z_region, i, i + 1)
+        w_i = problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
+        worst = max(worst, abs(min(float(z_i[0]), w_i)))
+        yield from ctx.compute_flops(2 * (end - start) + 4)
+        yield from ctx.compute(
+            ctx.costs.int_ops(SWEEP_INT_OPS_PER_NNZ * (end - start))
+        )
+    return worst
+
+
+def lcp_mp_program(ctx, config: LcpConfig, problem: LcpProblem, asynchronous: bool):
+    """Per-processor LCP-MP/ALCP-MP program. Returns (z, steps)."""
+    n = config.n
+    me, nprocs = ctx.pid, ctx.nprocs
+    lo, hi = row_block(me, n, nprocs)
+    myrows = hi - lo
+    my_nnz = int(problem.indptr[hi] - problem.indptr[lo])
+    stages = max(nprocs - 1, 1).bit_length() if nprocs > 1 else 0
+
+    with ctx.stats.phase("init"):
+        z_region = ctx.alloc("z", n)
+        regions = {
+            "indices": ctx.alloc("M.indices", max(my_nnz, 1), dtype=np.int64),
+            "data": ctx.alloc("M.data", max(my_nnz, 1)),
+        }
+        row_slice = slice(int(problem.indptr[lo]), int(problem.indptr[hi]))
+        if my_nnz:
+            yield from ctx.write(
+                regions["indices"], 0, values=problem.indices[row_slice]
+            )
+            yield from ctx.write(regions["data"], 0, values=problem.data[row_slice])
+        yield from ctx.compute(ctx.costs.int_ops(_BUILD_OPS_PER_NNZ * my_nnz))
+        # Channels: the full z vector is every channel's window, so a
+        # sender can deposit any contiguous range at its home offset.
+        partners = (
+            [p for p in range(nprocs) if p != me]
+            if asynchronous
+            else [me ^ (1 << k) for k in range(stages)]
+        )
+        recv_channels = {}
+        send_channels = {}
+        for partner in sorted(partners):
+            recv_channels[partner] = yield from ctx.cmmd.offer_channel(
+                partner, z_region, key="z"
+            )
+        for partner in sorted(partners):
+            send_channels[partner] = yield from ctx.cmmd.accept_channel(
+                partner, key="z"
+            )
+        yield from ctx.barrier()
+
+    steps = 0
+    with ctx.stats.phase("main"):
+        while steps < config.max_steps:
+            for _sweep_index in range(config.sweeps_per_step):
+                yield from _sweep(
+                    ctx, problem, regions, z_region, lo, hi, config.omega
+                )
+                if asynchronous and nprocs > 1:
+                    # Star communication: push my portion everywhere.
+                    mine = yield from ctx.read(z_region, lo, hi)
+                    mine = np.array(mine)
+                    for partner in sorted(send_channels):
+                        yield from ctx.cmmd.write_channel(
+                            send_channels[partner], mine, el_offset=lo
+                        )
+                    yield from ctx.drain_polls()
+            if not asynchronous and nprocs > 1:
+                # Recursive-doubling all-gather of the solution vector.
+                for k in range(stages):
+                    partner = me ^ (1 << k)
+                    group = (me >> k) << k
+                    glo, _ = row_block(group, n, nprocs)
+                    _, ghi = row_block(group + (1 << k) - 1, n, nprocs)
+                    outgoing = yield from ctx.read(z_region, glo, ghi)
+                    yield from ctx.cmmd.write_channel(
+                        send_channels[partner], np.array(outgoing), el_offset=glo
+                    )
+                    pgroup = (partner >> k) << k
+                    plo, _ = row_block(pgroup, n, nprocs)
+                    _, phi = row_block(pgroup + (1 << k) - 1, n, nprocs)
+                    yield from ctx.cmmd.wait_channel(
+                        recv_channels[partner], (phi - plo) * 8
+                    )
+            steps += 1
+            worst = yield from _local_residual(
+                ctx, problem, regions, z_region, lo, hi
+            )
+            total = yield from ctx.coll.allreduce(worst, max)
+            if total < config.tolerance:
+                break
+    yield from ctx.barrier()
+    return np.array(z_region.np), steps
+
+
+def run_lcp_mp(
+    machine: MpMachine, config: LcpConfig, asynchronous: bool = False
+) -> Tuple[MpRunResult, np.ndarray, int]:
+    """Run LCP-MP (or ALCP-MP); returns (result, z, steps)."""
+    if not asynchronous and not _is_power_of_two(machine.nprocs):
+        raise ValueError("synchronous LCP-MP uses recursive doubling: "
+                         "the processor count must be a power of two")
+    problem = generate_problem(config)
+    result = machine.run(lcp_mp_program, config, problem, asynchronous)
+    z, steps = result.outputs[0]
+    return result, z, steps

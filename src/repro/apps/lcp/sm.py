@@ -1,0 +1,156 @@
+"""LCP-SM and ALCP-SM: shared-memory multi-sweep SOR (paper Section 5.4).
+
+LCP-SM (synchronous): sweeps run against a *private* copy of the
+solution vector; at the end of each step a processor copies its portion
+into the global shared vector, waits at a barrier, refreshes its private
+copy from the other portions (the remote misses the paper attributes to
+the ill-suited invalidation protocol), and joins an MCS-style reduction
+for the convergence test.
+
+ALCP-SM (asynchronous): sweeps read and write the global vector
+directly, so updates become visible as soon as they are computed
+(De Leone et al.'s recommendation). Each write to a line other
+processors cached triggers the invalidate/re-miss cycle, multiplying
+traffic — paper Tables 21/23.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps.lcp.common import (
+    SWEEP_INT_OPS_PER_NNZ,
+    LcpConfig,
+    LcpProblem,
+    generate_problem,
+    row_block,
+)
+from repro.sm.machine import SmMachine, SmRunResult
+
+_BUILD_OPS_PER_NNZ = 20
+
+
+def _sweep(ctx, problem, regions, z_region, lo, hi, omega):
+    """One Gauss-Seidel sweep over the local rows against ``z_region``."""
+    indptr = problem.indptr
+    for i in range(lo, hi):
+        start, end = int(indptr[i]), int(indptr[i + 1])
+        local = start - int(indptr[lo])
+        cols = yield from ctx.read(regions["indices"], local, local + (end - start))
+        vals = yield from ctx.read(regions["data"], local, local + (end - start))
+        z_cols = yield from ctx.read_gather(z_region, cols)
+        z_i = yield from ctx.read(z_region, i, i + 1)
+        residual_i = (
+            problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
+        )
+        new_value = max(0.0, float(z_i[0]) - omega * residual_i / problem.diag[i])
+        yield from ctx.write(z_region, i, values=[new_value])
+        yield from ctx.compute_flops(2 * (end - start) + 4)
+        yield from ctx.compute(
+            ctx.costs.divs(1)
+            + ctx.costs.int_ops(4 + SWEEP_INT_OPS_PER_NNZ * (end - start))
+        )
+
+
+def _local_residual(ctx, problem, regions, z_region, lo, hi):
+    """Complementarity residual over the local rows."""
+    indptr = problem.indptr
+    worst = 0.0
+    for i in range(lo, hi):
+        start, end = int(indptr[i]), int(indptr[i + 1])
+        local = start - int(indptr[lo])
+        cols = yield from ctx.read(regions["indices"], local, local + (end - start))
+        vals = yield from ctx.read(regions["data"], local, local + (end - start))
+        z_cols = yield from ctx.read_gather(z_region, cols)
+        z_i = yield from ctx.read(z_region, i, i + 1)
+        w_i = problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
+        worst = max(worst, abs(min(float(z_i[0]), w_i)))
+        yield from ctx.compute_flops(2 * (end - start) + 4)
+        yield from ctx.compute(
+            ctx.costs.int_ops(SWEEP_INT_OPS_PER_NNZ * (end - start))
+        )
+    return worst
+
+
+def lcp_sm_program(
+    ctx, config: LcpConfig, problem: LcpProblem, asynchronous: bool, shared: Dict
+):
+    """Per-processor LCP-SM/ALCP-SM program. Returns (z, steps)."""
+    n = config.n
+    me, nprocs = ctx.pid, ctx.nprocs
+    lo, hi = row_block(me, n, nprocs)
+    my_nnz = int(problem.indptr[hi] - problem.indptr[lo])
+    reduction = ctx.machine.make_reduction("lcp.conv", context="sync")
+
+    with ctx.stats.phase("init"):
+        if me == 0:
+            shared["z"] = ctx.gmalloc("z_global", n)
+            ctx.create()
+        else:
+            yield from ctx.wait_create()
+        z_global = shared["z"]
+        regions = {
+            "indices": ctx.alloc_private("M.indices", max(my_nnz, 1), dtype=np.int64),
+            "data": ctx.alloc_private("M.data", max(my_nnz, 1)),
+        }
+        row_slice = slice(int(problem.indptr[lo]), int(problem.indptr[hi]))
+        if my_nnz:
+            yield from ctx.write(
+                regions["indices"], 0, values=problem.indices[row_slice]
+            )
+            yield from ctx.write(regions["data"], 0, values=problem.data[row_slice])
+        yield from ctx.compute(ctx.costs.int_ops(_BUILD_OPS_PER_NNZ * my_nnz))
+        z_local = None
+        if not asynchronous:
+            z_local = ctx.alloc_private("z_local", n)
+        yield from ctx.barrier()
+
+    steps = 0
+    with ctx.stats.phase("main"):
+        sweep_target = z_global if asynchronous else z_local
+        while steps < config.max_steps:
+            for _sweep_index in range(config.sweeps_per_step):
+                yield from _sweep(
+                    ctx, problem, regions, sweep_target, lo, hi, config.omega
+                )
+            if not asynchronous:
+                # Publish my portion, then refresh the rest of my copy.
+                mine = yield from ctx.read(z_local, lo, hi)
+                yield from ctx.write(z_global, lo, values=np.array(mine))
+                yield from ctx.barrier()
+                fresh = yield from ctx.read(z_global, 0, n)
+                fresh = np.array(fresh)
+                if lo:
+                    yield from ctx.write(z_local, 0, values=fresh[:lo])
+                if hi < n:
+                    yield from ctx.write(z_local, hi, values=fresh[hi:])
+                yield from ctx.compute(ctx.costs.copy(8 * (n - (hi - lo))))
+            steps += 1
+            worst = yield from _local_residual(
+                ctx, problem, regions, sweep_target, lo, hi
+            )
+            total, _aux = yield from reduction.allreduce(ctx, worst, max)
+            if total < config.tolerance:
+                break
+            if asynchronous:
+                # The paper's ALCP-SM synchronizes every five iterations.
+                yield from ctx.barrier()
+    yield from ctx.barrier()
+    if asynchronous:
+        z_final = yield from ctx.read(z_global, 0, n)
+    else:
+        z_final = yield from ctx.read(z_local, 0, n)
+    return np.array(z_final), steps
+
+
+def run_lcp_sm(
+    machine: SmMachine, config: LcpConfig, asynchronous: bool = False
+) -> Tuple[SmRunResult, np.ndarray, int]:
+    """Run LCP-SM (or ALCP-SM); returns (result, z, steps)."""
+    problem = generate_problem(config)
+    shared: Dict = {}
+    result = machine.run(lcp_sm_program, config, problem, asynchronous, shared)
+    z, steps = result.outputs[0]
+    return result, z, steps

@@ -1,0 +1,13 @@
+"""MSE: microstructure electrostatics (paper Section 5.1)."""
+
+from repro.apps.mse.common import MseConfig, MseProblem, generate_problem
+from repro.apps.mse.mp import run_mse_mp
+from repro.apps.mse.sm import run_mse_sm
+
+__all__ = [
+    "MseConfig",
+    "MseProblem",
+    "generate_problem",
+    "run_mse_mp",
+    "run_mse_sm",
+]

@@ -1,0 +1,49 @@
+"""Hardware barrier shared by both machines (paper Table 1).
+
+Both simulated machines provide a CM-5-like hardware barrier that
+releases all participants 100 cycles after the last arrival. The barrier
+is reusable (successive barrier episodes are independent rounds).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+from repro.sim.process import Wait
+
+
+class HardwareBarrier:
+    """All-processor barrier with a fixed release latency."""
+
+    def __init__(self, engine: Engine, participants: int, latency: int) -> None:
+        if participants <= 0:
+            raise ValueError("barrier needs at least one participant")
+        self.engine = engine
+        self.participants = participants
+        self.latency = latency
+        self.rounds_completed = 0
+        self._arrived = 0
+        self._round_event = SimEvent(name="barrier.round0")
+
+    def arrive(self) -> Generator:
+        """Generator subroutine: enter the barrier, resume on release.
+
+        Returns the number of cycles this participant waited (arrival to
+        release), which the caller charges to its barrier category.
+        """
+        arrival_time = self.engine.now
+        self._arrived += 1
+        event = self._round_event
+        if self._arrived == self.participants:
+            # Last arrival: release everyone `latency` cycles from now and
+            # open a fresh round for the next episode.
+            self._arrived = 0
+            self.rounds_completed += 1
+            self._round_event = SimEvent(
+                name=f"barrier.round{self.rounds_completed}"
+            )
+            self.engine.schedule(self.latency, lambda: event.fire(None))
+        yield Wait(event)
+        return self.engine.now - arrival_time

@@ -1,0 +1,133 @@
+"""Set-associative cache with random replacement (paper Table 1).
+
+One structure serves both machines. The message-passing machine only
+uses INVALID/PRESENT-style occupancy for local data; the shared-memory
+machine additionally distinguishes SHARED (read-only) from EXCLUSIVE
+(writable, dirty) lines for the Dir_nNB protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class LineState(enum.Enum):
+    """Coherence state of a cache line."""
+
+    INVALID = 0
+    SHARED = 1  # read-only copy
+    EXCLUSIVE = 2  # writable and dirty
+
+
+class CacheError(RuntimeError):
+    """Raised on inconsistent cache manipulation."""
+
+
+class Cache:
+    """N-way set-associative, random replacement, write-allocate.
+
+    Eviction notifications: ``on_evict(block_addr, state)`` is invoked for
+    every line displaced by an insert, letting the owning machine issue
+    write-backs (shared-memory) or charge replacement costs.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        block_bytes: int,
+        rng: np.random.Generator,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes % (assoc * block_bytes) != 0:
+            raise ValueError("cache size must divide into assoc * block_bytes")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.name = name
+        self.num_sets = size_bytes // (assoc * block_bytes)
+        self._rng = rng
+        # Per set: dict block_addr -> LineState (len <= assoc).
+        self._sets: List[Dict[int, LineState]] = [{} for _ in range(self.num_sets)]
+        self.on_evict: Optional[Callable[[int, LineState], None]] = None
+        # Instrumentation.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, block_addr: int) -> int:
+        return (block_addr // self.block_bytes) % self.num_sets
+
+    def _aligned(self, block_addr: int) -> int:
+        if block_addr % self.block_bytes != 0:
+            raise CacheError(f"unaligned block address {block_addr:#x}")
+        return block_addr
+
+    def lookup(self, block_addr: int) -> LineState:
+        """State of the block, counting a hit or miss."""
+        state = self.peek(block_addr)
+        if state is LineState.INVALID:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return state
+
+    def peek(self, block_addr: int) -> LineState:
+        """State of the block without touching hit/miss counters."""
+        self._aligned(block_addr)
+        line_set = self._sets[self._set_index(block_addr)]
+        return line_set.get(block_addr, LineState.INVALID)
+
+    def insert(
+        self, block_addr: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Install a block, evicting a random victim if the set is full.
+
+        Returns ``(victim_addr, victim_state)`` if a line was displaced,
+        else None. The ``on_evict`` callback (if set) also fires.
+        """
+        self._aligned(block_addr)
+        if state is LineState.INVALID:
+            raise CacheError("cannot insert an INVALID line")
+        line_set = self._sets[self._set_index(block_addr)]
+        if block_addr in line_set:
+            line_set[block_addr] = state
+            return None
+        victim: Optional[Tuple[int, LineState]] = None
+        if len(line_set) >= self.assoc:
+            candidates = list(line_set.keys())
+            victim_addr = candidates[int(self._rng.integers(len(candidates)))]
+            victim = (victim_addr, line_set.pop(victim_addr))
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(*victim)
+        line_set[block_addr] = state
+        return victim
+
+    def set_state(self, block_addr: int, state: LineState) -> None:
+        """Change the state of a present line (e.g., SHARED -> EXCLUSIVE)."""
+        self._aligned(block_addr)
+        line_set = self._sets[self._set_index(block_addr)]
+        if block_addr not in line_set:
+            raise CacheError(f"block {block_addr:#x} not present in {self.name}")
+        if state is LineState.INVALID:
+            raise CacheError("use invalidate() to remove a line")
+        line_set[block_addr] = state
+
+    def invalidate(self, block_addr: int) -> LineState:
+        """Remove a line; returns its prior state (INVALID if absent)."""
+        self._aligned(block_addr)
+        line_set = self._sets[self._set_index(block_addr)]
+        return line_set.pop(block_addr, LineState.INVALID)
+
+    def resident_blocks(self) -> int:
+        """Total lines currently valid (for tests and sanity checks)."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Drop every line without eviction callbacks (test helper)."""
+        for line_set in self._sets:
+            line_set.clear()

@@ -1,0 +1,48 @@
+"""Fully associative FIFO TLB (paper Table 1: 64 entries, 4 KB pages)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """Fully associative translation buffer with FIFO replacement.
+
+    FIFO (not LRU): a hit does not refresh an entry's position, matching
+    the paper's "FIFO replacement".
+    """
+
+    def __init__(self, entries: int, page_bytes: int) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._fifo: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _page_of(self, addr: int) -> int:
+        return addr - (addr % self.page_bytes)
+
+    def access(self, addr: int) -> bool:
+        """Touch the page containing ``addr``; True on hit, False on miss.
+
+        A miss installs the page, evicting the oldest entry if full.
+        """
+        page = self._page_of(addr)
+        if page in self._fifo:
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._fifo) >= self.entries:
+            self._fifo.popitem(last=False)
+        self._fifo[page] = None
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Whether the page of ``addr`` is resident (no counter update)."""
+        return self._page_of(addr) in self._fifo
+
+    def flush(self) -> None:
+        """Drop all translations."""
+        self._fifo.clear()

@@ -1,0 +1,118 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Commands:
+
+* ``python -m repro list`` — every registered experiment and the paper
+  tables it regenerates;
+* ``python -m repro run <id> [...]`` — run experiments, print the
+  paper-style tables and the shape checks;
+* ``python -m repro run --all`` — the full evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, List
+
+from repro.core.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.core.study import PairResult
+from repro.core.tables import render_pair
+
+
+def _print_result(exp_id: str, result: Any) -> None:
+    spec = get_experiment(exp_id)
+    print("=" * 72)
+    print(f"{spec.title}")
+    print(f"(regenerates: {spec.paper_tables})")
+    print("=" * 72)
+    if isinstance(result, PairResult):
+        print(render_pair(result, phases=bool(result.phases)))
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            if hasattr(value, "board"):
+                continue  # raw machine results; the checks summarize them
+            print(f"  {key}: {value}")
+    print()
+    print("shape checks (paper's qualitative results):")
+    all_ok = True
+    for name, ok, detail in spec.shape(result):
+        mark = "PASS" if ok else "FAIL"
+        all_ok &= ok
+        print(f"  [{mark}] {name}: {detail}")
+    if spec.notes:
+        print(f"\nnote: {spec.notes}")
+    print()
+    if not all_ok:
+        raise SystemExit(f"experiment {exp_id} failed its shape checks")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(exp_id) for exp_id in EXPERIMENTS)
+    for exp_id, spec in EXPERIMENTS.items():
+        print(f"{exp_id:<{width + 2}}{spec.paper_tables}")
+        print(f"{'':<{width + 2}}{spec.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    exp_ids: List[str] = list(EXPERIMENTS) if args.all else args.experiments
+    if not exp_ids:
+        print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        return 2
+    for exp_id in exp_ids:
+        get_experiment(exp_id)  # fail fast on typos before any long run
+    for exp_id in exp_ids:
+        start = time.time()
+        result = run_experiment(exp_id)
+        elapsed = time.time() - start
+        _print_result(exp_id, result)
+        print(f"(ran in {elapsed:.1f}s wall time)\n")
+    return 0
+
+
+def cmd_fidelity(_args: argparse.Namespace) -> int:
+    from repro.core.fidelity import assess_all, render_scorecard
+
+    print("running the five pair experiments (memoized if already run)...")
+    rows = assess_all()
+    print()
+    print(render_scorecard(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Where is Time Spent in "
+                    "Message-Passing and Shared-Memory Programs?' "
+                    "(ASPLOS 1994)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(handler=cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="*", metavar="ID",
+                            help="experiment ids (see `list`)")
+    run_parser.add_argument("--all", action="store_true",
+                            help="run the whole evaluation section")
+    run_parser.set_defaults(handler=cmd_run)
+
+    fidelity_parser = subparsers.add_parser(
+        "fidelity",
+        help="scorecard: category shares, paper vs. the scaled runs",
+    )
+    fidelity_parser.set_defaults(handler=cmd_fidelity)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

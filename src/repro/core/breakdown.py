@@ -1,0 +1,229 @@
+"""Time-breakdown and event-count records (the paper's table rows).
+
+``MpBreakdown``/``SmBreakdown`` summarize a machine run into the exact
+categories of the paper's per-program tables; ``MpCounts``/``SmCounts``
+mirror the per-processor event-count tables, including the paper's
+communication-intensity metric, computation cycles per data byte
+transmitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.stats.categories import MpCat, SmCat
+from repro.stats.collector import StatsBoard
+
+BreakdownRow = Tuple[str, float, int]
+
+
+@dataclass(frozen=True)
+class MpBreakdown:
+    """Average per-processor cycles by category (paper MP tables)."""
+
+    computation: float
+    local_misses: float
+    lib_comp: float
+    lib_misses: float
+    network_access: float
+    barriers: float
+
+    @classmethod
+    def from_board(cls, board: StatsBoard, phase: Optional[str] = None) -> "MpBreakdown":
+        def mean(category: MpCat) -> float:
+            return board.mean_cycles(category, phase=phase)
+
+        return cls(
+            computation=mean(MpCat.COMPUTE),
+            local_misses=mean(MpCat.LOCAL_MISS),
+            lib_comp=mean(MpCat.LIB_COMPUTE),
+            lib_misses=mean(MpCat.LIB_MISS),
+            network_access=mean(MpCat.NETWORK_ACCESS),
+            barriers=mean(MpCat.BARRIER),
+        )
+
+    @property
+    def communication(self) -> float:
+        """The paper's Communication group: Lib Comp + Lib Misses + NI."""
+        return self.lib_comp + self.lib_misses + self.network_access
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.local_misses + self.communication + self.barriers
+
+    def rows(self) -> List[BreakdownRow]:
+        rows: List[BreakdownRow] = [
+            ("Computation", self.computation, 0),
+            ("Local Misses", self.local_misses, 0),
+            ("Communication", self.communication, 0),
+            ("Lib Comp", self.lib_comp, 1),
+            ("Lib Misses", self.lib_misses, 1),
+            ("Network Access", self.network_access, 1),
+        ]
+        if self.barriers:
+            rows.append(("Barriers", self.barriers, 0))
+        return rows
+
+
+@dataclass(frozen=True)
+class SmBreakdown:
+    """Average per-processor cycles by category (paper SM tables)."""
+
+    computation: float
+    private_misses: float
+    shared_misses: float
+    write_faults: float
+    tlb_misses: float
+    sync_comp: float
+    sync_miss: float
+    locks: float
+    barriers: float
+    reductions: float
+    startup_wait: float
+
+    @classmethod
+    def from_board(cls, board: StatsBoard, phase: Optional[str] = None) -> "SmBreakdown":
+        def mean(category: SmCat) -> float:
+            return board.mean_cycles(category, phase=phase)
+
+        return cls(
+            computation=mean(SmCat.COMPUTE),
+            private_misses=mean(SmCat.PRIVATE_MISS),
+            shared_misses=mean(SmCat.SHARED_MISS),
+            write_faults=mean(SmCat.WRITE_FAULT),
+            tlb_misses=mean(SmCat.TLB_MISS),
+            sync_comp=mean(SmCat.SYNC_COMPUTE),
+            sync_miss=mean(SmCat.SYNC_MISS),
+            locks=mean(SmCat.LOCK),
+            barriers=mean(SmCat.BARRIER),
+            reductions=mean(SmCat.REDUCTION),
+            startup_wait=mean(SmCat.STARTUP_WAIT),
+        )
+
+    @property
+    def data_access(self) -> float:
+        """The paper's Data Access / Cache Misses group."""
+        return (
+            self.private_misses + self.shared_misses + self.write_faults
+            + self.tlb_misses
+        )
+
+    @property
+    def synchronization(self) -> float:
+        return (
+            self.sync_comp + self.sync_miss + self.locks + self.barriers
+            + self.reductions + self.startup_wait
+        )
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.data_access + self.synchronization
+
+    def rows(self) -> List[BreakdownRow]:
+        rows: List[BreakdownRow] = [
+            ("Computation", self.computation, 0),
+            ("Data Access", self.data_access, 0),
+        ]
+        for label, value in (
+            ("Private Misses", self.private_misses),
+            ("Shared Misses", self.shared_misses),
+            ("Write Faults", self.write_faults),
+            ("TLB Misses", self.tlb_misses),
+        ):
+            if value:
+                rows.append((label, value, 1))
+        rows.append(("Synchronization", self.synchronization, 0))
+        for label, value in (
+            ("Sync Comp", self.sync_comp),
+            ("Sync Miss", self.sync_miss),
+            ("Locks", self.locks),
+            ("Reductions", self.reductions),
+            ("Barriers", self.barriers),
+            ("Start-up Wait", self.startup_wait),
+        ):
+            if value:
+                rows.append((label, value, 1))
+        return rows
+
+
+@dataclass(frozen=True)
+class MpCounts:
+    """Average per-processor event counts (paper MP count tables)."""
+
+    local_misses: float
+    messages_sent: float
+    channel_writes: float
+    active_messages: float
+    data_bytes: float
+    control_bytes: float
+    computation: float
+
+    @classmethod
+    def from_board(cls, board: StatsBoard, phase: Optional[str] = None) -> "MpCounts":
+        return cls(
+            local_misses=board.mean_count("local_misses", phase=phase),
+            messages_sent=board.mean_count("messages_sent", phase=phase),
+            channel_writes=board.mean_count("channel_writes", phase=phase),
+            active_messages=board.mean_count("active_messages", phase=phase),
+            data_bytes=board.mean_count("data_bytes", phase=phase),
+            control_bytes=board.mean_count("control_bytes", phase=phase),
+            computation=board.mean_cycles(MpCat.COMPUTE, phase=phase),
+        )
+
+    @property
+    def bytes_transmitted(self) -> float:
+        return self.data_bytes + self.control_bytes
+
+    @property
+    def comp_cycles_per_data_byte(self) -> float:
+        """The paper's communication-intensity metric."""
+        if self.data_bytes == 0:
+            return float("inf")
+        return self.computation / self.data_bytes
+
+
+@dataclass(frozen=True)
+class SmCounts:
+    """Average per-processor event counts (paper SM count tables)."""
+
+    private_misses: float
+    shared_misses_local: float
+    shared_misses_remote: float
+    write_faults: float
+    data_bytes: float
+    control_bytes: float
+    computation: float
+
+    @classmethod
+    def from_board(cls, board: StatsBoard, phase: Optional[str] = None) -> "SmCounts":
+        return cls(
+            private_misses=board.mean_count("private_misses", phase=phase),
+            shared_misses_local=board.mean_count("shared_misses_local", phase=phase),
+            shared_misses_remote=board.mean_count("shared_misses_remote", phase=phase),
+            write_faults=board.mean_count("write_faults", phase=phase),
+            data_bytes=board.mean_count("data_bytes", phase=phase),
+            control_bytes=board.mean_count("control_bytes", phase=phase),
+            computation=board.mean_cycles(SmCat.COMPUTE, phase=phase),
+        )
+
+    @property
+    def shared_misses(self) -> float:
+        return self.shared_misses_local + self.shared_misses_remote
+
+    @property
+    def bytes_transmitted(self) -> float:
+        return self.data_bytes + self.control_bytes
+
+    @property
+    def comp_cycles_per_data_byte(self) -> float:
+        if self.data_bytes == 0:
+            return float("inf")
+        return self.computation / self.data_bytes
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of shared misses that are remote (Table 17's lever)."""
+        if self.shared_misses == 0:
+            return 0.0
+        return self.shared_misses_remote / self.shared_misses

@@ -1,0 +1,686 @@
+"""Experiment registry: every table and figure of the paper's evaluation.
+
+Each :class:`ExperimentSpec` names the paper tables it regenerates,
+carries the paper's reported values (for EXPERIMENTS.md and the shape
+checks), and a runner that executes the scaled configuration. Runs are
+memoized so that several benches (e.g., the breakdown and event-count
+tables of one application) share one simulation.
+
+Scale: the paper's runs are hundreds of millions to billions of target
+cycles on 32 processors; a pure-Python event simulation reproduces
+*fractions and ratios*, which are scale-stable, at workloads a few
+hundred times smaller (see DESIGN.md section 2.8). Cache sizes are
+scaled with the working sets so that capacity effects (EM3D Tables
+16/17) keep the paper's geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.apps.em3d.common import Em3dConfig
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.apps.lcp.common import LcpConfig
+from repro.apps.lcp.mp import run_lcp_mp
+from repro.apps.lcp.sm import run_lcp_sm
+from repro.apps.mse.common import MseConfig
+from repro.apps.mse.mp import run_mse_mp
+from repro.apps.mse.sm import run_mse_sm
+from repro.arch.params import MachineParams
+from repro.core.study import PairResult
+from repro.memory.dataspace import HomePolicy
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+#: A shape check: (description, passed, detail-string).
+ShapeCheck = Tuple[str, bool, str]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible experiment from the paper's evaluation."""
+
+    id: str
+    title: str
+    paper_tables: str
+    description: str
+    runner: Callable[[], Any]
+    shape: Callable[[Any], List[ShapeCheck]]
+    paper: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+
+_RESULTS: Dict[str, Any] = {}
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(exp_id: str) -> Any:
+    """Run (or fetch the memoized result of) one experiment."""
+    if exp_id not in _RESULTS:
+        _RESULTS[exp_id] = get_experiment(exp_id).runner()
+    return _RESULTS[exp_id]
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests use this for isolation)."""
+    _RESULTS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Scaled workload configurations (see module docstring).
+# ---------------------------------------------------------------------------
+
+_SEED = 1994
+
+MSE_PROCS = 8
+MSE_CONFIG = MseConfig(
+    bodies=32, elements_per_body=6, iterations=8, seed=_SEED
+)
+# The paper's MSE working set slightly exceeds what its 256 KB cache
+# holds comfortably (local misses are 4-5% of time, and private misses
+# dwarf the schedule-driven shared misses). 8 KB against this scaled
+# run's ~8 KB of positions + vectors keeps both properties.
+MSE_CACHE = 8 * 1024
+
+GAUSS_PROCS = 8
+GAUSS_CONFIG = GaussConfig(n=224, seed=_SEED)
+
+EM3D_PROCS = 8
+EM3D_CONFIG = Em3dConfig(
+    nodes_per_proc=100, degree=6, remote_frac=0.20, iterations=6, seed=_SEED
+)
+EM3D_CACHE = 16 * 1024  # ~2/3 of the per-processor working set (paper: ~45%)
+EM3D_BIG_CACHE = 4 * EM3D_CACHE  # the paper's 256KB -> 1MB step
+
+LCP_PROCS = 8
+# band/stride chosen so rows couple across block boundaries the way the
+# paper's matrices evidently did: the asynchronous variant's extra
+# traffic (paper Table 23: 4.7x) needs real cross-processor reuse.
+LCP_CONFIG = LcpConfig(n=256, band=6, stride_couples=2, tolerance=1e-7,
+                       seed=_SEED)
+
+
+def _mse_pair() -> PairResult:
+    params = MachineParams.paper(num_processors=MSE_PROCS).with_cache_bytes(MSE_CACHE)
+    mp_result, _x = run_mse_mp(MpMachine(params, seed=_SEED), MSE_CONFIG)
+    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=_SEED), MSE_CONFIG)
+    return PairResult(
+        name="MSE", mp_result=mp_result, sm_result=sm_result,
+        phases=["init", "main"],
+    )
+
+
+def _gauss_pair() -> PairResult:
+    params = MachineParams.paper(num_processors=GAUSS_PROCS)
+    mp_result, _x = run_gauss_mp(MpMachine(params, seed=_SEED), GAUSS_CONFIG)
+    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=_SEED), GAUSS_CONFIG)
+    extra = {"directory_queue_delay": sm_result.machine.directory_contention()}
+    return PairResult(
+        name="Gauss", mp_result=mp_result, sm_result=sm_result,
+        phases=["init", "main"], extra=extra,
+    )
+
+
+def _gauss_collectives() -> Dict[str, float]:
+    """The text's strategy study: flat vs binary vs lop-sided trees.
+
+    Uses more processors than the breakdown runs: the lop-sided tree's
+    advantage over a binary tree grows with the machine (the paper ran
+    32 processors).
+    """
+    config = GaussConfig(n=96, seed=_SEED)
+    totals: Dict[str, float] = {}
+    for strategy in ("flat", "binary", "lopsided"):
+        machine = MpMachine(
+            MachineParams.paper(num_processors=16),
+            seed=_SEED,
+            collective_strategy=strategy,
+        )
+        result, _x = run_gauss_mp(machine, config)
+        totals[strategy] = result.board.mean_total()
+    return totals
+
+
+def _gauss_contention_scaling() -> Dict[int, Dict[str, float]]:
+    """Section 5.2's scalability remark, measured.
+
+    "These delays [directory queuing] ... will become untenable for
+    larger systems": rerun Gauss-SM at growing processor counts (fixed
+    problem size) and record the mean directory queue delay and the
+    average cost of a shared miss.
+    """
+    from repro.stats.categories import SmCat
+
+    results: Dict[int, Dict[str, float]] = {}
+    for nprocs in (4, 8, 16):
+        machine = SmMachine(
+            MachineParams.paper(num_processors=nprocs), seed=_SEED
+        )
+        run, _x = run_gauss_sm(machine, GaussConfig(n=96, seed=_SEED))
+        board = run.board
+        misses = board.mean_count("shared_misses_remote") + board.mean_count(
+            "shared_misses_local"
+        )
+        results[nprocs] = {
+            "queue_delay": machine.directory_contention(),
+            "miss_cost": board.mean_cycles(SmCat.SHARED_MISS) / max(misses, 1),
+            "total": board.mean_total(),
+        }
+    return results
+
+
+def _contention_scaling_shape(results: Dict[int, Dict[str, float]]) -> List[ShapeCheck]:
+    procs = sorted(results)
+    delays = [results[p]["queue_delay"] for p in procs]
+    costs = [results[p]["miss_cost"] for p in procs]
+    return [
+        _check("queue delay grows with the machine",
+               delays[0] < delays[-1],
+               f"{delays[0]:.0f} -> {delays[-1]:.0f} cycles over {procs} procs"),
+        _check("per-miss cost grows with the machine",
+               costs[0] < costs[-1],
+               f"{costs[0]:.0f} -> {costs[-1]:.0f} cycles (paper: ~700 "
+               "contended vs ~250 idle at 32 procs)"),
+    ]
+
+
+def _em3d_pair(cache_bytes: int = EM3D_CACHE,
+               policy: HomePolicy = HomePolicy.ROUND_ROBIN) -> PairResult:
+    params = MachineParams.paper(num_processors=EM3D_PROCS).with_cache_bytes(
+        cache_bytes
+    )
+    mp_result, _e, _h = run_em3d_mp(MpMachine(params, seed=_SEED), EM3D_CONFIG)
+    sm_result, _e2, _h2 = run_em3d_sm(
+        SmMachine(params, seed=_SEED, allocation_policy=policy), EM3D_CONFIG
+    )
+    return PairResult(
+        name="EM3D", mp_result=mp_result, sm_result=sm_result,
+        phases=["init", "main"],
+    )
+
+
+def _em3d_protocols() -> Dict[str, Any]:
+    """Section 5.3.4's suggested fixes, implemented and measured.
+
+    Runs EM3D-SM under the base invalidation protocol, with consumer
+    flushes, and with the bulk-update protocol, against the EM3D-MP
+    baseline.
+    """
+    params = MachineParams.paper(num_processors=EM3D_PROCS).with_cache_bytes(
+        EM3D_CACHE
+    )
+    mp_result, _e, _h = run_em3d_mp(MpMachine(params, seed=_SEED), EM3D_CONFIG)
+    results: Dict[str, Any] = {"mp": mp_result}
+    for variant in ("base", "flush", "update"):
+        machine = SmMachine(params, seed=_SEED)
+        sm_result, _e2, _h2 = run_em3d_sm(machine, EM3D_CONFIG, variant=variant)
+        results[variant] = sm_result
+    return results
+
+
+def _em3d_protocols_shape(results: Dict[str, Any]) -> List[ShapeCheck]:
+    mp_main = results["mp"].board.mean_total(phase="main")
+    ratios = {
+        variant: results[variant].board.mean_total(phase="main") / mp_main
+        for variant in ("base", "flush", "update")
+    }
+    base_invals = results["base"].board.mean_count(
+        "invalidations_received", phase="main"
+    )
+    flush_invals = results["flush"].board.mean_count(
+        "invalidations_received", phase="main"
+    )
+    return [
+        _check("flush cuts invalidations", flush_invals < 0.5 * base_invals,
+               f"{flush_invals:.0f} vs {base_invals:.0f} per processor"),
+        _check("flush does not regress", ratios["flush"] <= ratios["base"] * 1.02,
+               f"SM/MP {ratios['flush']:.2f} vs base {ratios['base']:.2f}"),
+        _check("bulk update closes the gap", ratios["update"] < ratios["base"],
+               f"SM/MP {ratios['update']:.2f} vs base {ratios['base']:.2f} "
+               "(paper: 'performed equivalently with EM3D-MP')"),
+    ]
+
+
+def _lcp_pair(asynchronous: bool) -> PairResult:
+    params = MachineParams.paper(num_processors=LCP_PROCS)
+    mp_result, _z, mp_steps = run_lcp_mp(
+        MpMachine(params, seed=_SEED), LCP_CONFIG, asynchronous=asynchronous
+    )
+    sm_result, _z2, sm_steps = run_lcp_sm(
+        SmMachine(params, seed=_SEED), LCP_CONFIG, asynchronous=asynchronous
+    )
+    return PairResult(
+        name="ALCP" if asynchronous else "LCP",
+        mp_result=mp_result,
+        sm_result=sm_result,
+        phases=["init", "main"],
+        extra={"mp_steps": mp_steps, "sm_steps": sm_steps},
+    )
+
+
+def _validation_micro() -> Dict[str, Dict[str, float]]:
+    """Section 4.1's validation, adapted: measured vs analytic latencies.
+
+    The paper validated its simulator against a physical CM-5 (within
+    14-27%). Without the machine, we validate that the simulated
+    latencies of the primitive operations compose to the Table 1-3
+    costs they are built from.
+    """
+    checks: Dict[str, Dict[str, float]] = {}
+
+    # Message-passing: one-way active-message latency.
+    mp_machine = MpMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    times = {}
+
+    def on_ping(ctx, packet):
+        times["arrived"] = ctx.engine.now
+        return
+        yield
+
+    def mp_program(ctx):
+        ctx.am.register("ping", on_ping)
+        if ctx.pid == 0:
+            times["sent"] = ctx.engine.now
+            yield from ctx.am.send(1, "ping")
+        else:
+            yield from ctx.poll_wait(lambda: "arrived" in times)
+
+    mp_machine.run(mp_program)
+    mp = mp_machine.params.mp
+    expected = (
+        mp.lib_am_send_cycles + mp.send_packet_cycles
+        + mp_machine.params.common.network_latency
+        + mp.ni_status_cycles + mp.recv_packet_cycles + mp.lib_am_handler_cycles
+    )
+    checks["am_one_way"] = {
+        "measured": times["arrived"] - times["sent"],
+        "expected": expected,
+    }
+
+    # Barrier release latency.
+    bar_machine = MpMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    release = {}
+
+    def barrier_program(ctx):
+        start = ctx.engine.now
+        yield from ctx.barrier()
+        release[ctx.pid] = ctx.engine.now - start
+
+    bar_machine.run(barrier_program)
+    checks["barrier"] = {
+        "measured": max(release.values()),
+        "expected": bar_machine.params.common.barrier_latency,
+    }
+
+    # Shared memory: remote miss to idle data (the paper's ~250 cycles).
+    sm_machine = SmMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    miss = {}
+
+    def sm_program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            start = ctx.engine.now
+            yield from ctx.read(ctx.machine.regions[0], 0, 1)
+            miss["cycles"] = ctx.engine.now - start
+
+    sm_machine.run(sm_program)
+    sm = sm_machine.params.sm
+    common = sm_machine.params.common
+    # 19 + 100 + (10 + dram + 5 + 8) + 100, ignoring TLB (measured run
+    # includes a TLB miss; keep it in the measured-vs-expected margin).
+    expected_miss = (
+        sm.shared_miss_cycles + 2 * common.network_latency
+        + sm.directory_base_cycles + common.dram_cycles
+        + sm.directory_send_msg_cycles + sm.directory_send_block_cycles
+    )
+    checks["sm_remote_miss_idle"] = {
+        "measured": miss["cycles"],
+        "expected": expected_miss,
+    }
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Shape checks.
+# ---------------------------------------------------------------------------
+
+
+def _check(name: str, ok: bool, detail: str) -> ShapeCheck:
+    return (name, bool(ok), detail)
+
+
+def _mse_shape(pair: PairResult) -> List[ShapeCheck]:
+    mp, sm = pair.mp_breakdown(), pair.sm_breakdown()
+    rel = pair.mp_relative_to_sm
+    return [
+        _check("near-parity", 0.70 <= rel <= 1.30,
+               f"MP/SM = {rel:.2f} (paper: 0.98)"),
+        _check("MP computation-bound", mp.computation / mp.total > 0.6,
+               f"compute share {mp.computation / mp.total:.0%} (paper: 90%)"),
+        _check("SM computation-bound", sm.computation / sm.total > 0.6,
+               f"compute share {sm.computation / sm.total:.0%} (paper: 82%)"),
+        _check("SM start-up imbalance visible",
+               sm.startup_wait + sm.barriers > 0,
+               f"startup+barrier {(sm.startup_wait + sm.barriers) / 1e3:.1f}K"),
+        _check("shared misses a small fraction",
+               pair.sm_counts().shared_misses
+               < 0.25 * pair.sm_counts().private_misses
+               + pair.sm_counts().shared_misses,
+               f"shared {pair.sm_counts().shared_misses:.0f} vs private "
+               f"{pair.sm_counts().private_misses:.0f}"),
+    ]
+
+
+def _gauss_shape(pair: PairResult) -> List[ShapeCheck]:
+    mp, sm = pair.mp_breakdown(), pair.sm_breakdown()
+    rel = pair.mp_relative_to_sm
+    comm_share = mp.communication / mp.total
+    return [
+        _check("near-parity", 0.65 <= rel <= 1.5,
+               f"MP/SM = {rel:.2f} (paper: 0.98)"),
+        _check("MP communication substantial", 0.2 <= comm_share <= 0.7,
+               f"comm share {comm_share:.0%} (paper: 42%)"),
+        _check("SM misses + sync substantial",
+               (sm.data_access + sm.synchronization) / sm.total > 0.25,
+               f"share {(sm.data_access + sm.synchronization) / sm.total:.0%} "
+               "(paper: 46%)"),
+        _check("directory contention observed",
+               pair.extra["directory_queue_delay"] > 0,
+               f"mean queue delay {pair.extra['directory_queue_delay']:.0f} "
+               "cycles (paper: ~200)"),
+        _check("SM misses mostly remote",
+               pair.sm_counts().remote_fraction > 0.8,
+               f"remote fraction {pair.sm_counts().remote_fraction:.0%} "
+               "(paper: 97%)"),
+    ]
+
+
+def _collectives_shape(totals: Dict[str, float]) -> List[ShapeCheck]:
+    return [
+        _check("lop-sided beats binary", totals["lopsided"] < totals["binary"],
+               f"{totals['lopsided'] / 1e6:.2f}M vs {totals['binary'] / 1e6:.2f}M "
+               "(paper: 30.1M vs 40.9M)"),
+        _check("binary beats flat", totals["binary"] < totals["flat"],
+               f"{totals['binary'] / 1e6:.2f}M vs {totals['flat'] / 1e6:.2f}M "
+               "(paper: 40.9M vs 119.3M)"),
+    ]
+
+
+def _em3d_shape(pair: PairResult) -> List[ShapeCheck]:
+    sm = pair.sm_breakdown()
+    rel = pair.sm_relative_to_mp
+    data_share = sm.data_access / sm.total
+    return [
+        _check("MP substantially faster", rel > 1.5,
+               f"SM/MP = {rel:.2f} (paper: 2.0)"),
+        _check("SM dominated by data access", data_share > 0.4,
+               f"data-access share {data_share:.0%} (paper: 64%)"),
+        _check("SM misses mostly remote",
+               pair.sm_counts(phase="main").remote_fraction > 0.8,
+               f"remote {pair.sm_counts(phase='main').remote_fraction:.0%} "
+               "(paper: 97%)"),
+        _check("MP bulk transfers",
+               pair.mp_counts(phase="main").channel_writes
+               < 0.1 * pair.sm_counts(phase="main").shared_misses,
+               f"{pair.mp_counts(phase='main').channel_writes:.0f} channel "
+               f"writes vs {pair.sm_counts(phase='main').shared_misses:.0f} "
+               "SM misses (paper: 200 vs 330K)"),
+        _check("SM locks only in initialization",
+               pair.sm_breakdown(phase="init").locks > 0
+               and pair.sm_breakdown(phase="main").locks == 0,
+               "locks charged in init phase only"),
+    ]
+
+
+def _em3d_bigcache_shape(pair: PairResult) -> List[ShapeCheck]:
+    base = run_experiment("em3d")
+    base_sm = base.sm_breakdown(phase="main")
+    big_sm = pair.sm_breakdown(phase="main")
+    base_misses = base.sm_counts(phase="main").shared_misses
+    big_misses = pair.sm_counts(phase="main").shared_misses
+    return [
+        _check("main-loop time drops", big_sm.total < base_sm.total,
+               f"{big_sm.total / 1e6:.2f}M vs {base_sm.total / 1e6:.2f}M "
+               "(paper: 61.0M vs 130.0M)"),
+        _check("misses drop sharply", big_misses < 0.6 * base_misses,
+               f"{big_misses:.0f} vs {base_misses:.0f} (paper: ~1/3)"),
+    ]
+
+
+def _em3d_localalloc_shape(pair: PairResult) -> List[ShapeCheck]:
+    base = run_experiment("em3d")
+    base_remote = base.sm_counts(phase="main").remote_fraction
+    local_remote = pair.sm_counts(phase="main").remote_fraction
+    base_total = base.sm_breakdown(phase="main").total
+    local_total = pair.sm_breakdown(phase="main").total
+    return [
+        _check("remote fraction collapses",
+               local_remote < 0.5 * base_remote,
+               f"{local_remote:.0%} vs {base_remote:.0%} "
+               "(paper: 10% vs 97%)"),
+        _check("main loop faster", local_total < base_total,
+               f"{local_total / 1e6:.2f}M vs {base_total / 1e6:.2f}M "
+               "(paper: 86.3M vs 130.0M, ~2/3)"),
+    ]
+
+
+def _lcp_shape(pair: PairResult) -> List[ShapeCheck]:
+    rel = pair.mp_relative_to_sm
+    return [
+        _check("MP modestly faster", rel < 1.05,
+               f"MP/SM = {rel:.2f} (paper: 0.86)"),
+        _check("same convergence steps",
+               pair.extra["mp_steps"] == pair.extra["sm_steps"],
+               f"steps {pair.extra['mp_steps']} vs {pair.extra['sm_steps']} "
+               "(same algorithm)"),
+        _check("SM synchronization visible",
+               pair.sm_breakdown().synchronization / pair.sm_total > 0.03,
+               f"sync share {pair.sm_breakdown().synchronization / pair.sm_total:.0%} "
+               "(paper: 17%)"),
+    ]
+
+
+def _alcp_shape(pair: PairResult) -> List[ShapeCheck]:
+    sync = run_experiment("lcp")
+    sync_steps = sync.extra["sm_steps"]
+    async_steps = pair.extra["sm_steps"]
+    sync_intensity = sync.mp_counts().comp_cycles_per_data_byte
+    async_intensity = pair.mp_counts().comp_cycles_per_data_byte
+    sync_pstep = sync.mp_counts().bytes_transmitted / sync.extra["mp_steps"]
+    async_pstep = pair.mp_counts().bytes_transmitted / pair.extra["mp_steps"]
+    return [
+        _check("fewer steps to converge", async_steps <= sync_steps,
+               f"{async_steps} vs {sync_steps} (paper: 34 vs 43)"),
+        _check("more traffic per step", async_pstep > 1.5 * sync_pstep,
+               f"{async_pstep:.0f} vs {sync_pstep:.0f} bytes/step"),
+        _check("communication intensity collapses",
+               async_intensity < 0.6 * sync_intensity,
+               f"comp/data-byte {async_intensity:.1f} vs {sync_intensity:.1f} "
+               "(paper: 6 vs 29)"),
+    ]
+
+
+def _validation_shape(checks: Dict[str, Dict[str, float]]) -> List[ShapeCheck]:
+    results = []
+    for name, values in checks.items():
+        measured, expected = values["measured"], values["expected"]
+        error = abs(measured - expected) / expected
+        results.append(
+            _check(name, error <= 0.27,
+                   f"measured {measured:.0f} vs expected {expected:.0f} "
+                   f"({error:.0%}; the paper's CM-5 validation was within 27%)")
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in [
+        ExperimentSpec(
+            id="mse",
+            title="Microstructure Electrostatics (MSE-MP vs MSE-SM)",
+            paper_tables="Tables 4, 5, 6, 7",
+            description="Computation-bound boundary-integral code with "
+                        "schedule-driven communication.",
+            runner=_mse_pair,
+            shape=_mse_shape,
+            paper={
+                "mp_total_Mcycles": 1241.1, "sm_total_Mcycles": 1267.8,
+                "mp_relative": 0.98, "mp_compute_share": 0.90,
+                "sm_compute_share": 0.82,
+                "mp_comp_per_data_byte": 1452, "sm_comp_per_data_byte": 985,
+            },
+        ),
+        ExperimentSpec(
+            id="gauss",
+            title="Gaussian Elimination (Gauss-MP vs Gauss-SM)",
+            paper_tables="Tables 8, 9, 10, 11",
+            description="Reduction/broadcast-dominated elimination; software "
+                        "collectives vs shared-memory broadcast with "
+                        "directory contention.",
+            runner=_gauss_pair,
+            shape=_gauss_shape,
+            paper={
+                "mp_total_Mcycles": 71.0, "sm_total_Mcycles": 72.7,
+                "mp_relative": 0.98, "mp_comm_share": 0.42,
+                "sm_miss_share": 0.23, "directory_queue_delay": 200,
+                "mp_comp_per_data_byte": 78, "sm_comp_per_data_byte": 47,
+            },
+        ),
+        ExperimentSpec(
+            id="gauss_collectives",
+            title="Collective strategies in Gauss-MP",
+            paper_tables="Section 5.2 text (119.3M / 40.9M / 30.1M cycles)",
+            description="Flat vs binary-tree vs lop-sided (LogP) broadcast "
+                        "and reduction.",
+            runner=_gauss_collectives,
+            shape=_collectives_shape,
+            paper={"flat_M": 119.3, "binary_M": 40.9, "lopsided_M": 30.1},
+        ),
+        ExperimentSpec(
+            id="gauss_contention",
+            title="Directory contention vs. machine size (Gauss-SM)",
+            paper_tables="Section 5.2 text (~200-cycle queue delay, "
+                         "~700-cycle contended miss; 'untenable for "
+                         "larger systems')",
+            description="Fixed problem, growing processor count: queue "
+                        "delay and per-miss cost at the directories.",
+            runner=_gauss_contention_scaling,
+            shape=_contention_scaling_shape,
+            paper={"queue_delay_32p": 200, "contended_miss_32p": 700,
+                   "idle_miss": 250},
+        ),
+        ExperimentSpec(
+            id="em3d",
+            title="EM3D (EM3D-MP vs EM3D-SM)",
+            paper_tables="Tables 12, 13, 14, 15",
+            description="Producer-consumer bipartite graph computation: the "
+                        "paper's clearest message-passing win.",
+            runner=_em3d_pair,
+            shape=_em3d_shape,
+            paper={
+                "mp_total_Mcycles": 86.4, "sm_total_Mcycles": 172.1,
+                "sm_relative": 2.00, "sm_data_access_share": 0.64,
+                "mp_channel_writes_main": 200, "sm_shared_misses_main": 330044,
+                "mp_comp_per_data_byte": 20, "sm_comp_per_data_byte": 2,
+            },
+            notes="Scaled run lands at SM/MP ~ 2.5-4.0 (paper 2.0): the "
+                  "block-layout details that gave the paper's SM version "
+                  "half the misses of MP are not recoverable from the text.",
+        ),
+        ExperimentSpec(
+            id="em3d_bigcache",
+            title="EM3D-SM with a 4x larger cache",
+            paper_tables="Table 16",
+            description="Capacity misses vanish; SM main loop drops below "
+                        "MP's in the paper.",
+            runner=lambda: _em3d_pair(cache_bytes=EM3D_BIG_CACHE),
+            shape=_em3d_bigcache_shape,
+            paper={"sm_main_Mcycles": 61.0, "base_sm_main_Mcycles": 130.0},
+        ),
+        ExperimentSpec(
+            id="em3d_localalloc",
+            title="EM3D-SM with local allocation",
+            paper_tables="Table 17",
+            description="Local placement turns remote misses local: "
+                        "97% -> 10% remote, main loop to ~2/3.",
+            runner=lambda: _em3d_pair(policy=HomePolicy.LOCAL),
+            shape=_em3d_localalloc_shape,
+            paper={"sm_main_Mcycles": 86.3, "remote_fraction": 0.10},
+        ),
+        ExperimentSpec(
+            id="em3d_protocols",
+            title="EM3D-SM protocol extensions: flush and bulk update",
+            paper_tables="Section 5.3.4 discussion (design-choice ablation)",
+            description="Consumer flushes turn 2-message invalidations "
+                        "into 1-message replacements; the bulk-update "
+                        "protocol replaces invalidate+miss with one push.",
+            runner=_em3d_protocols,
+            shape=_em3d_protocols_shape,
+            paper={"update_vs_mp": "equivalent (Falsafi et al. [6])"},
+            notes="Not a paper table: the paper discusses these fixes and "
+                  "cites Falsafi et al.'s measurement; this ablation "
+                  "implements them.",
+        ),
+        ExperimentSpec(
+            id="lcp",
+            title="Synchronous LCP (LCP-MP vs LCP-SM)",
+            paper_tables="Tables 18, 19 and the synchronous columns of 22, 23",
+            description="Multi-sweep SOR with per-step solution exchange.",
+            runner=lambda: _lcp_pair(asynchronous=False),
+            shape=_lcp_shape,
+            paper={
+                "mp_total_Mcycles": 56.8, "sm_total_Mcycles": 66.0,
+                "mp_relative": 0.86, "steps": 43,
+                "mp_comp_per_data_byte": 29, "sm_comp_per_data_byte": 26,
+            },
+        ),
+        ExperimentSpec(
+            id="alcp",
+            title="Asynchronous LCP (ALCP-MP vs ALCP-SM)",
+            paper_tables="Tables 20, 21 and the asynchronous columns of 22, 23",
+            description="Publish-every-sweep variant: fewer steps, far more "
+                        "communication.",
+            runner=lambda: _lcp_pair(asynchronous=True),
+            shape=_alcp_shape,
+            paper={
+                "mp_total_Mcycles": 92.7, "sm_total_Mcycles": 98.7,
+                "steps_mp": 35, "steps_sm": 34,
+                "mp_comp_per_data_byte": 6, "sm_comp_per_data_byte": 4,
+            },
+            notes="At the scaled problem the asynchronous variant converges "
+                  "proportionally faster than in the paper, so total time "
+                  "does not regress; per-step traffic and the intensity "
+                  "collapse reproduce.",
+        ),
+        ExperimentSpec(
+            id="validation",
+            title="Simulator validation microbenchmarks",
+            paper_tables="Section 4.1 (simulator within 14-27% of a CM-5)",
+            description="Measured primitive latencies vs their analytic "
+                        "compositions of the Table 1-3 costs.",
+            runner=_validation_micro,
+            shape=_validation_shape,
+            paper={"tolerance": 0.27},
+        ),
+    ]
+}

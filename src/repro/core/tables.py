@@ -1,0 +1,145 @@
+"""Paper-style rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.study import PairResult
+from repro.stats.report import (
+    format_breakdown,
+    format_comparison,
+    format_counts,
+    human_quantity,
+)
+
+
+def render_mp_breakdown(pair: PairResult, phase: Optional[str] = None) -> str:
+    """The message-passing time-breakdown table (paper Tables 4, 8, ...)."""
+    breakdown = pair.mp_breakdown(phase=phase)
+    suffix = f" [{phase}]" if phase else ""
+    return format_breakdown(
+        f"{pair.name} Message Passing ({pair.name}-MP){suffix}",
+        breakdown.rows(),
+        breakdown.total,
+        relative=("Relative to Shared Memory", pair.mp_relative_to_sm),
+    )
+
+
+def render_sm_breakdown(pair: PairResult, phase: Optional[str] = None) -> str:
+    """The shared-memory time-breakdown table (paper Tables 5, 9, ...)."""
+    breakdown = pair.sm_breakdown(phase=phase)
+    suffix = f" [{phase}]" if phase else ""
+    return format_breakdown(
+        f"{pair.name} Shared Memory ({pair.name}-SM){suffix}",
+        breakdown.rows(),
+        breakdown.total,
+        relative=("Relative to Message Passing", pair.sm_relative_to_mp),
+    )
+
+
+def render_mp_counts(pair: PairResult, phase: Optional[str] = None) -> str:
+    """The message-passing event-count table (paper Tables 6, 10, ...)."""
+    counts = pair.mp_counts(phase=phase)
+    suffix = f" [{phase}]" if phase else ""
+    rows = [
+        ("Local Misses", human_quantity(counts.local_misses), 0),
+        ("Messages sent", human_quantity(counts.messages_sent), 0),
+        ("Channel Writes", human_quantity(counts.channel_writes), 1),
+        ("Active Messages", human_quantity(counts.active_messages), 1),
+        ("Bytes Transmitted", human_quantity(counts.bytes_transmitted), 0),
+        ("Data", human_quantity(counts.data_bytes), 1),
+        ("Control", human_quantity(counts.control_bytes), 1),
+        (
+            "Computation Cycles Per Data Byte",
+            f"{counts.comp_cycles_per_data_byte:.0f}",
+            0,
+        ),
+    ]
+    return format_counts(f"{pair.name}-MP per-processor counts{suffix}", rows)
+
+
+def render_sm_counts(pair: PairResult, phase: Optional[str] = None) -> str:
+    """The shared-memory event-count table (paper Tables 7, 11, ...)."""
+    counts = pair.sm_counts(phase=phase)
+    suffix = f" [{phase}]" if phase else ""
+    rows = [
+        ("Cache Misses", "", 0),
+        ("Private Misses", human_quantity(counts.private_misses), 1),
+        ("Shared Misses", human_quantity(counts.shared_misses), 1),
+        ("Local", human_quantity(counts.shared_misses_local), 2),
+        ("Remote", human_quantity(counts.shared_misses_remote), 2),
+        ("Write Faults", human_quantity(counts.write_faults), 0),
+        ("Bytes Transmitted", human_quantity(counts.bytes_transmitted), 0),
+        ("Data", human_quantity(counts.data_bytes), 1),
+        ("Control", human_quantity(counts.control_bytes), 1),
+        (
+            "Computation Cycles Per Data Byte",
+            f"{counts.comp_cycles_per_data_byte:.0f}",
+            0,
+        ),
+    ]
+    return format_counts(f"{pair.name}-SM per-processor counts{suffix}", rows)
+
+
+def render_share_comparison(pair: PairResult, app_key: str) -> str:
+    """Side-by-side category *shares*: paper vs. this scaled run.
+
+    Shares (percent of each program's total), not absolute cycles —
+    the scale-stable quantity the reproduction targets. ``app_key``
+    indexes :mod:`repro.core.paper_data` ("mse", "gauss", "em3d_total",
+    "lcp", "alcp").
+    """
+    from repro.core import paper_data
+
+    paper_mp = paper_data.MP_BREAKDOWNS[app_key]
+    paper_sm = paper_data.SM_BREAKDOWNS[app_key]
+    mine_mp = pair.mp_breakdown()
+    mine_sm = pair.sm_breakdown()
+
+    def pct(part: float, whole: float) -> str:
+        return f"{100 * part / whole:.0f}%" if whole else "-"
+
+    rows = [
+        ("MP computation",
+         [pct(paper_mp.computation, paper_mp.total),
+          pct(mine_mp.computation, mine_mp.total)]),
+        ("MP local misses",
+         [pct(paper_mp.local_misses, paper_mp.total),
+          pct(mine_mp.local_misses, mine_mp.total)]),
+        ("MP communication",
+         [pct(paper_mp.communication, paper_mp.total),
+          pct(mine_mp.communication, mine_mp.total)]),
+        ("SM computation",
+         [pct(paper_sm.computation, paper_sm.total),
+          pct(mine_sm.computation, mine_sm.total)]),
+        ("SM data access",
+         [pct(paper_sm.cache_misses, paper_sm.total),
+          pct(mine_sm.data_access, mine_sm.total)]),
+        ("SM synchronization",
+         [pct(paper_sm.synchronization, paper_sm.total),
+          pct(mine_sm.synchronization, mine_sm.total)]),
+        ("MP relative to SM",
+         [f"{100 * (paper_mp.relative_to_sm or 0):.0f}%"
+          if paper_mp.relative_to_sm else "-",
+          f"{100 * pair.mp_relative_to_sm:.0f}%"]),
+    ]
+    return format_comparison(
+        f"{pair.name}: category shares, paper vs. scaled run",
+        ["paper (32p)", "this run"],
+        rows,
+    )
+
+
+def render_pair(pair: PairResult, phases: bool = False) -> str:
+    """Both breakdowns and both count tables, optionally per phase."""
+    sections: List[str] = [
+        render_mp_breakdown(pair),
+        render_sm_breakdown(pair),
+        render_mp_counts(pair),
+        render_sm_counts(pair),
+    ]
+    if phases:
+        for phase in pair.phases:
+            sections.append(render_mp_breakdown(pair, phase=phase))
+            sections.append(render_sm_breakdown(pair, phase=phase))
+    return "\n\n".join(sections)

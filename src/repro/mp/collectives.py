@@ -1,0 +1,282 @@
+"""Software broadcast and reduction trees (paper Section 5.2).
+
+The simulated machines have no broadcast/reduction hardware (the paper
+deliberately removed the CM-5's control network to study the cost of
+implementing these operations in software). Three strategies are
+provided, mirroring the paper's optimization journey in Gauss:
+
+* ``flat`` — the initiator sends to every other processor in turn
+  (the paper's very slow first attempt: 119.3M cycles);
+* ``binary`` — a binary tree (40.9M cycles);
+* ``lopsided`` — the LogP-derived lop-sided tree the paper settles on
+  (30.1M cycles): because send/receive overhead exceeds network latency,
+  subtree sizes are skewed so every processor finishes at roughly the
+  same time.
+
+Value-sized operations ride on single active messages; bulk broadcasts
+(pivot rows in Gauss) ride on CMMD channels established lazily along
+tree edges, with a small header message announcing each round's length.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.memory.dataspace import Region
+from repro.mp.cmmd import RecvChannel, SendChannel
+from repro.mp.netiface import Packet
+
+Strategy = str  # "flat" | "binary" | "lopsided"
+
+_VALID_STRATEGIES = ("flat", "binary", "lopsided")
+
+
+def flat_children(nprocs: int) -> Dict[int, List[int]]:
+    """Virtual-rank children map for a flat (star) broadcast."""
+    return {0: list(range(1, nprocs))}
+
+
+def binary_children(nprocs: int) -> Dict[int, List[int]]:
+    """Virtual-rank children map for a binary tree."""
+    children: Dict[int, List[int]] = {}
+    for v in range(nprocs):
+        kids = [c for c in (2 * v + 1, 2 * v + 2) if c < nprocs]
+        if kids:
+            children[v] = kids
+    return children
+
+
+def lopsided_children(nprocs: int, send_gap: int, hop_latency: int) -> Dict[int, List[int]]:
+    """LogP-greedy broadcast tree (the paper's lop-sided tree).
+
+    Simulates the schedule: every informed processor can start a new send
+    every ``send_gap`` cycles; an uninformed processor becomes informed
+    ``hop_latency`` cycles after its parent starts the send. Each new
+    rank is assigned to whichever processor can send earliest, which
+    skews early subtrees large — the lop-sided shape.
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+    children: Dict[int, List[int]] = {}
+    # Heap of (next possible send time, tiebreak, virtual rank).
+    heap: List[Tuple[int, int, int]] = [(0, 0, 0)]
+    tiebreak = 1
+    for rank in range(1, nprocs):
+        send_time, _, sender = heapq.heappop(heap)
+        children.setdefault(sender, []).append(rank)
+        heapq.heappush(heap, (send_time + send_gap, tiebreak, sender))
+        tiebreak += 1
+        heapq.heappush(heap, (send_time + hop_latency, tiebreak, rank))
+        tiebreak += 1
+    return children
+
+
+class CollectiveGroup:
+    """Broadcasts and reductions among all processors of the machine.
+
+    One group is built per processor (they share only the network); tree
+    shape and rounds are computed identically everywhere, so no central
+    coordination is needed.
+    """
+
+    BCAST_HANDLER = "_coll_bcast"
+    REDUCE_HANDLER = "_coll_reduce"
+    HDR_HANDLER = "_coll_bulk_hdr"
+
+    def __init__(
+        self,
+        ctx: "repro.mp.api.MpContext",  # noqa: F821
+        strategy: Strategy = "lopsided",
+    ) -> None:
+        if strategy not in _VALID_STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.ctx = ctx
+        self.strategy = strategy
+        self._rounds: Dict[str, int] = {"bcast": 0, "reduce": 0, "bulk": 0}
+        # mailboxes: (kind, round) -> value for bcast/hdr, list for reduce
+        self._mail: Dict[Tuple[str, int], Any] = {}
+        ctx.am.register(self.BCAST_HANDLER, self._on_bcast)
+        ctx.am.register(self.REDUCE_HANDLER, self._on_reduce)
+        ctx.am.register(self.HDR_HANDLER, self._on_hdr)
+        # Bulk-broadcast channel state (see bulk_broadcast).
+        self._bulk_buffer: Optional[Region] = None
+        self._recv_from: Dict[int, RecvChannel] = {}
+        self._send_to: Dict[int, SendChannel] = {}
+        self._tree_cache: Dict[int, Dict[int, List[int]]] = {}
+
+    # -- tree geometry ---------------------------------------------------------
+
+    def _virtual_children(self) -> Dict[int, List[int]]:
+        nprocs = self.ctx.nprocs
+        cached = self._tree_cache.get(-1)
+        if cached is not None:
+            return cached
+        if self.strategy == "flat":
+            tree = flat_children(nprocs)
+        elif self.strategy == "binary":
+            tree = binary_children(nprocs)
+        else:
+            mp = self.ctx.params.mp
+            send_gap = mp.lib_am_send_cycles + mp.send_packet_cycles
+            hop_latency = (
+                send_gap
+                + self.ctx.params.common.network_latency
+                + mp.recv_packet_cycles
+                + mp.lib_am_handler_cycles
+            )
+            tree = lopsided_children(nprocs, send_gap, hop_latency)
+        self._tree_cache[-1] = tree
+        return tree
+
+    def children_of(self, pid: int, root: int) -> List[int]:
+        """Actual children of ``pid`` in the tree rooted at ``root``."""
+        nprocs = self.ctx.nprocs
+        virtual = (pid - root) % nprocs
+        kids = self._virtual_children().get(virtual, [])
+        return [(root + k) % nprocs for k in kids]
+
+    def parent_of(self, pid: int, root: int) -> Optional[int]:
+        """Actual parent of ``pid`` in the tree rooted at ``root``."""
+        if pid == root:
+            return None
+        nprocs = self.ctx.nprocs
+        virtual = (pid - root) % nprocs
+        for parent, kids in self._virtual_children().items():
+            if virtual in kids:
+                return (root + parent) % nprocs
+        raise RuntimeError(f"virtual rank {virtual} not in tree")
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _on_bcast(self, ctx, packet: Packet) -> Generator:
+        round_, value = packet.payload
+        self._mail[("bcast", round_)] = value
+        return
+        yield  # pragma: no cover
+
+    def _on_reduce(self, ctx, packet: Packet) -> Generator:
+        round_, value = packet.payload
+        self._mail.setdefault(("reduce", round_), []).append(value)
+        return
+        yield  # pragma: no cover
+
+    def _on_hdr(self, ctx, packet: Packet) -> Generator:
+        round_, nelems = packet.payload
+        self._mail[("bulk", round_)] = nelems
+        return
+        yield  # pragma: no cover
+
+    # -- value collectives --------------------------------------------------------
+
+    def broadcast(self, value: Any, root: int) -> Generator:
+        """Broadcast a word-sized value from ``root``; returns it everywhere."""
+        ctx = self.ctx
+        round_ = self._rounds["bcast"]
+        self._rounds["bcast"] += 1
+        if ctx.pid != root:
+            key = ("bcast", round_)
+            yield from ctx.poll_wait(lambda: key in self._mail)
+            value = self._mail.pop(key)
+        for child in self.children_of(ctx.pid, root):
+            yield from ctx.am.send(
+                child, self.BCAST_HANDLER, round_, value, data_bytes=8
+            )
+        return value
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int,
+        op_cycles: int = 4,
+    ) -> Generator:
+        """Reduce with ``op`` toward ``root``; returns the result at root
+        (None elsewhere)."""
+        ctx = self.ctx
+        round_ = self._rounds["reduce"]
+        self._rounds["reduce"] += 1
+        children = self.children_of(ctx.pid, root)
+        if children:
+            key = ("reduce", round_)
+            yield from ctx.poll_wait(
+                lambda: len(self._mail.get(key, [])) >= len(children)
+            )
+            for contribution in self._mail.pop(key):
+                value = op(value, contribution)
+            yield from ctx.compute(op_cycles * len(children))
+        if ctx.pid == root:
+            return value
+        parent = self.parent_of(ctx.pid, root)
+        yield from ctx.am.send(
+            parent, self.REDUCE_HANDLER, round_, value, data_bytes=8
+        )
+        return None
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        op_cycles: int = 4,
+    ) -> Generator:
+        """Reduce to processor 0, then broadcast the result to everyone."""
+        reduced = yield from self.reduce(value, op, root=0, op_cycles=op_cycles)
+        result = yield from self.broadcast(reduced, root=0)
+        return result
+
+    # -- bulk broadcast --------------------------------------------------------------
+
+    def setup_bulk(self, max_elems: int, dtype=np.float64) -> None:
+        """Allocate the staging buffer bulk broadcasts land in."""
+        self._bulk_buffer = self.ctx.alloc("coll_bulk_buffer", max_elems, dtype=dtype)
+
+    @property
+    def bulk_buffer(self) -> Region:
+        if self._bulk_buffer is None:
+            raise RuntimeError("call setup_bulk() before bulk_broadcast()")
+        return self._bulk_buffer
+
+    def bulk_broadcast(
+        self, values: Optional[np.ndarray], root: int
+    ) -> Generator:
+        """Broadcast an array from ``root`` over channel-based tree edges.
+
+        ``values`` is required at the root and ignored elsewhere. Returns
+        a view of this node's staging buffer holding the data. Channels
+        along tree edges are established lazily on first use and reused
+        across rounds (the paper's channel optimization in Gauss).
+        """
+        ctx = self.ctx
+        buffer = self.bulk_buffer
+        round_ = self._rounds["bulk"]
+        self._rounds["bulk"] += 1
+        if ctx.pid == root:
+            if values is None:
+                raise ValueError("root must supply values")
+            nelems = int(np.asarray(values).size)
+            yield from ctx.write(buffer, 0, values=np.asarray(values))
+        else:
+            parent = self.parent_of(ctx.pid, root)
+            if parent not in self._recv_from:
+                channel = yield from ctx.cmmd.offer_channel(
+                    parent, buffer, key="coll_bulk"
+                )
+                self._recv_from[parent] = channel
+            key = ("bulk", round_)
+            yield from ctx.poll_wait(lambda: key in self._mail)
+            nelems = self._mail.pop(key)
+            channel = self._recv_from[parent]
+            yield from ctx.cmmd.wait_channel(channel, nelems * buffer.itemsize)
+        for child in self.children_of(ctx.pid, root):
+            yield from ctx.am.send(child, self.HDR_HANDLER, round_, nelems)
+            if child not in self._send_to:
+                send_channel = yield from ctx.cmmd.accept_channel(
+                    child, key="coll_bulk"
+                )
+                self._send_to[child] = send_channel
+            payload = yield from ctx.read(buffer, 0, nelems)
+            yield from ctx.cmmd.write_channel(self._send_to[child], payload)
+        result = yield from ctx.read(buffer, 0, nelems)
+        return result

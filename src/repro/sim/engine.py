@@ -1,0 +1,113 @@
+"""Event-queue core of the discrete-event simulator.
+
+The engine maintains a binary heap of ``(time, sequence, action)`` entries.
+Ties in time are broken by insertion order, which makes every simulation
+fully deterministic: the same program and seed always produce the same
+event interleaving and the same cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside the simulation kernel."""
+
+
+class ScheduledAction:
+    """Handle for a scheduled action; allows cancellation.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped
+    when popped.
+    """
+
+    __slots__ = ("action", "cancelled", "time")
+
+    def __init__(self, time: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the action from running when its time arrives."""
+        self.cancelled = True
+
+
+class Engine:
+    """Deterministic discrete-event engine measured in processor cycles."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, ScheduledAction]] = []
+        self._running = False
+        self._stop_requested = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> ScheduledAction:
+        """Schedule ``action`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        handle = ScheduledAction(self._now + delay, action)
+        heapq.heappush(self._heap, (handle.time, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def schedule_at(self, time: int, action: Callable[[], None]) -> ScheduledAction:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self.schedule(time - self._now, action)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current action."""
+        self._stop_requested = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: if given, stop once simulation time would pass this value.
+            max_events: if given, stop after this many actions (a guard
+                against runaway simulations in tests).
+
+        Returns:
+            The number of actions executed.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._heap:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                time, _seq, handle = heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                if until is not None and time > until:
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(self._heap, (time, _seq, handle))
+                    self._now = until
+                    break
+                self._now = time
+                handle.action()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled actions."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)

@@ -1,0 +1,125 @@
+"""Generator-based simulated processes.
+
+A process body is a Python generator that yields *commands* to the kernel:
+
+* ``Delay(cycles)`` — resume after a fixed number of cycles.
+* ``Wait(event)``   — resume when a :class:`~repro.sim.events.SimEvent`
+  fires; the yield expression evaluates to the event's value.
+
+Machine operations (memory accesses, message sends, barriers) are written
+as generator subroutines that bottom out in these two commands and are
+composed with ``yield from``. This mirrors how the Wisconsin Wind Tunnel
+interleaves direct execution with simulator callouts, with Python
+generators standing in for instrumented binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+
+
+class Delay:
+    """Command: suspend the process for ``cycles`` cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative delay: {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Delay({self.cycles})"
+
+
+class Wait:
+    """Command: suspend the process until ``event`` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"Wait({self.event.name!r})"
+
+
+class ProcessCrash(RuntimeError):
+    """An exception escaped a process body; wraps the original error."""
+
+    def __init__(self, process_name: str, original: BaseException) -> None:
+        super().__init__(f"process {process_name!r} crashed: {original!r}")
+        self.process_name = process_name
+        self.original = original
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """Drives one generator body through the engine.
+
+    The process starts on the engine's next step after construction (time
+    zero if created before ``run()``), so creation order does not skew
+    start times. ``done`` fires with the generator's return value when
+    the body completes.
+    """
+
+    def __init__(self, engine: Engine, body: ProcessBody, name: str = "proc") -> None:
+        self.engine = engine
+        self.name = name
+        self.done = SimEvent(name=f"{name}.done")
+        self._body = body
+        self._crashed: Optional[ProcessCrash] = None
+        engine.schedule(0, lambda: self._step(None))
+
+    @property
+    def finished(self) -> bool:
+        """True once the body has returned (or crashed)."""
+        return self.done.fired or self._crashed is not None
+
+    @property
+    def crash(self) -> Optional[ProcessCrash]:
+        """The wrapped exception if the body crashed, else None."""
+        return self._crashed
+
+    def result(self) -> Any:
+        """Return value of the body; raises if it crashed or is unfinished."""
+        if self._crashed is not None:
+            raise self._crashed
+        if not self.done.fired:
+            raise RuntimeError(f"process {self.name!r} has not finished")
+        return self.done.value
+
+    def _step(self, value: Any) -> None:
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self.done.fire(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - deliberate crash wrapping
+            self._crashed = ProcessCrash(self.name, exc)
+            raise self._crashed from exc
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.engine.schedule(command.cycles, lambda: self._step(None))
+        elif isinstance(command, Wait):
+            command.event.add_callback(self._resume_from_event)
+        else:
+            error = TypeError(
+                f"process {self.name!r} yielded {command!r}; "
+                "only Delay and Wait commands are understood"
+            )
+            self._crashed = ProcessCrash(self.name, error)
+            raise self._crashed from error
+
+    def _resume_from_event(self, value: Any) -> None:
+        # Resume via the engine so the wake-up happens as its own event,
+        # preserving deterministic ordering among processes released by
+        # the same firing.
+        self.engine.schedule(0, lambda: self._step(value))

@@ -1,0 +1,189 @@
+"""MCS queue locks and MCS-style combining reductions.
+
+Implemented *on* the simulated shared memory (paper Section 4.2): each
+processor spins on a separate, locally cached location; the relinquisher
+passes the lock with a single remote write that invalidates the
+spinner's copy and terminates its spin. Every remote miss, write fault,
+and invalidation these algorithms cause is paid through the coherence
+protocol, so lock/reduction costs emerge rather than being assumed.
+
+Each processor's queue node occupies its own cache block (one 4-word
+row) to avoid false sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Tuple
+
+import numpy as np
+
+#: A reduction contribution: (value, auxiliary word), e.g. (pivot, row).
+Pair = Tuple[float, float]
+
+
+class McsLock:
+    """Mellor-Crummey & Scott queue lock.
+
+    The acquire path uses the machine's atomic swap; the release path
+    uses compare-and-swap (also modeled hardware — see DESIGN.md). Time
+    spent inside is attributed to the "lock" context (the Locks row of
+    the paper's SM tables).
+    """
+
+    def __init__(self, machine: "repro.sm.machine.SmMachine", name: str) -> None:  # noqa: F821
+        nprocs = machine.nprocs
+        # tail holds the id of the last waiter (-1: free).
+        self.tail = machine.space.alloc_shared(
+            f"{name}.tail", owner=0, shape=4, dtype=np.int64,
+            policy=machine.allocation_policy, fill=-1,
+        )
+        # One 32-byte row per processor: [next, locked, pad, pad].
+        self.qnodes = machine.space.alloc_shared(
+            f"{name}.qnodes", owner=0, shape=nprocs * 4, dtype=np.int64,
+            policy=machine.allocation_policy, fill=0,
+        )
+        machine.index_region(self.tail)
+        machine.index_region(self.qnodes)
+        self.name = name
+
+    def acquire(self, ctx: "repro.sm.api.SmContext") -> Generator:  # noqa: F821
+        """Join the queue; spin locally until granted."""
+        me = ctx.pid
+        with ctx.stats.context("lock"):
+            yield from ctx.write(
+                self.qnodes, me * 4, values=np.array([-1, 1], dtype=np.int64)
+            )
+            prev = yield from ctx.atomic_swap(self.tail, 0, me)
+            if prev != -1:
+                # Link behind the predecessor, then spin on our own flag.
+                yield from ctx.write(
+                    self.qnodes, int(prev) * 4, values=np.array([me], dtype=np.int64)
+                )
+                yield from ctx.spin_until(self.qnodes, me * 4 + 1, lambda v: v == 0)
+            ctx.stats.count("lock_acquires")
+
+    def release(self, ctx: "repro.sm.api.SmContext") -> Generator:  # noqa: F821
+        """Pass the lock to the successor (or free it)."""
+        me = ctx.pid
+        with ctx.stats.context("lock"):
+            successor = yield from ctx.read(self.qnodes, me * 4, me * 4 + 1)
+            nxt = int(successor[0])
+            if nxt == -1:
+                freed = yield from ctx.atomic_cas(self.tail, 0, me, -1)
+                if freed:
+                    return
+                # A new waiter swapped in but has not linked yet.
+                nxt = int(
+                    (
+                        yield from ctx.spin_until(
+                            self.qnodes, me * 4, lambda v: v != -1
+                        )
+                    )
+                )
+            yield from ctx.write(
+                self.qnodes, nxt * 4 + 1, values=np.array([0], dtype=np.int64)
+            )
+
+
+class McsReduction:
+    """Combining-tree reduction (the upward phase of an MCS barrier).
+
+    Each processor publishes its contribution in its own cache block;
+    internal tree nodes spin (locally) for their children's round flags,
+    combine, and publish upward. ``reduce`` leaves the result at
+    processor 0; ``allreduce`` adds a broadcast through a shared result
+    cell. Successive ``reduce`` calls must be separated by a barrier (or
+    use ``allreduce``) so a fast child cannot overwrite a value its
+    parent has not read.
+
+    Contributions are ``(value, aux)`` pairs so that argmax-style
+    reductions (Gauss pivot selection: value plus row index) combine in
+    one pass; scalar reductions pass ``aux=0``.
+    """
+
+    def __init__(
+        self,
+        machine: "repro.sm.machine.SmMachine",  # noqa: F821
+        name: str,
+        context: str = "reduction",
+    ) -> None:
+        nprocs = machine.nprocs
+        # One row per processor: [value, aux, round_flag, pad].
+        self.slots = machine.space.alloc_shared(
+            f"{name}.slots", owner=0, shape=nprocs * 4, dtype=np.float64,
+            policy=machine.allocation_policy, fill=0.0,
+        )
+        # Broadcast cell: [value, aux, round_flag, pad].
+        self.result = machine.space.alloc_shared(
+            f"{name}.result", owner=0, shape=4, dtype=np.float64,
+            policy=machine.allocation_policy, fill=0.0,
+        )
+        machine.index_region(self.slots)
+        machine.index_region(self.result)
+        self.context = context
+        self.nprocs = nprocs
+        self._rounds: Dict[int, int] = {}
+
+    def reduce(
+        self,
+        ctx: "repro.sm.api.SmContext",  # noqa: F821
+        value: float,
+        op: Callable[[Pair, Pair], Pair],
+        aux: float = 0.0,
+        op_cycles: int = 4,
+    ) -> Generator:
+        """Combine toward processor 0.
+
+        Returns the ``(value, aux)`` pair at processor 0, None elsewhere.
+        ``op`` combines two pairs (e.g. ``max`` for argmax reductions
+        where aux carries an index).
+        """
+        me = ctx.pid
+        round_ = self._rounds.get(me, 0) + 1
+        self._rounds[me] = round_
+        pair = (float(value), float(aux))
+        with ctx.stats.context(self.context):
+            for child in (2 * me + 1, 2 * me + 2):
+                if child >= self.nprocs:
+                    continue
+                yield from ctx.spin_until(
+                    self.slots, child * 4 + 2, lambda v: v >= round_
+                )
+                contribution = yield from ctx.read(
+                    self.slots, child * 4, child * 4 + 2
+                )
+                pair = op(pair, (float(contribution[0]), float(contribution[1])))
+                yield from ctx.compute(op_cycles)
+            yield from ctx.write(
+                self.slots,
+                me * 4,
+                values=np.array([pair[0], pair[1], float(round_)]),
+            )
+        if me == 0:
+            return pair
+        return None
+
+    def allreduce(
+        self,
+        ctx: "repro.sm.api.SmContext",  # noqa: F821
+        value: float,
+        op: Callable[[Pair, Pair], Pair],
+        aux: float = 0.0,
+        op_cycles: int = 4,
+    ) -> Generator:
+        """Reduce to processor 0, then broadcast through the result cell.
+
+        Returns the final ``(value, aux)`` pair on every processor.
+        """
+        me = ctx.pid
+        reduced = yield from self.reduce(ctx, value, op, aux=aux, op_cycles=op_cycles)
+        round_ = float(self._rounds[me])
+        with ctx.stats.context(self.context):
+            if me == 0:
+                yield from ctx.write(
+                    self.result, 0, values=np.array([reduced[0], reduced[1], round_])
+                )
+                return reduced
+            yield from ctx.spin_until(self.result, 2, lambda v: v >= round_)
+            values = yield from ctx.read(self.result, 0, 2)
+            return (float(values[0]), float(values[1]))

@@ -1,0 +1,48 @@
+"""parmacs macro facade.
+
+The paper's shared-memory programs "use the parmacs macros": gmalloc
+with round-robin allocation, create(f) duplicating processor 0's data
+segments onto the other nodes, MCS lock/unlock, and the hardware
+barrier. :class:`Parmacs` maps those macro names onto the SmContext
+surface for programs written in the parmacs idiom; the applications in
+:mod:`repro.apps` use the context methods directly.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+
+class Parmacs:
+    """Macro-style veneer over one processor's SmContext."""
+
+    def __init__(self, ctx: "repro.sm.api.SmContext") -> None:  # noqa: F821
+        self.ctx = ctx
+
+    def G_MALLOC(self, name: str, shape, dtype=np.float64, fill: float = 0.0):
+        """Shared allocation with the machine's (round-robin) policy."""
+        return self.ctx.gmalloc(name, shape, dtype=dtype, fill=fill)
+
+    def CREATE(self) -> None:
+        """Processor 0: start the other processors."""
+        if self.ctx.pid != 0:
+            raise RuntimeError("CREATE is called by processor 0 only")
+        self.ctx.create()
+
+    def WAIT_CREATE(self) -> Generator:
+        """Non-zero processors: wait to be started (Start-up Wait)."""
+        yield from self.ctx.wait_create()
+
+    def BARRIER(self) -> Generator:
+        yield from self.ctx.barrier()
+
+    def LOCK(self, name: str) -> Generator:
+        """Acquire a machine-registered MCS lock by name."""
+        lock = self.ctx.machine.get_lock(name)
+        yield from lock.acquire(self.ctx)
+
+    def UNLOCK(self, name: str) -> Generator:
+        lock = self.ctx.machine.get_lock(name)
+        yield from lock.release(self.ctx)

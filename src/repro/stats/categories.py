@@ -1,0 +1,66 @@
+"""Cycle categories: the rows of the paper's time-breakdown tables.
+
+Message-passing programs (paper Tables 4, 8, 12, 18, 20) split time
+into computation; local cache misses; and communication, itself split
+into library computation, library-induced local misses, and network
+(interface) access; plus hardware-barrier time.
+
+Shared-memory programs (Tables 5, 9, 14, 19, 21) split time into
+computation; data access (private misses, shared misses, write faults,
+TLB misses); and synchronization (synchronization computation and
+misses, locks, barriers, reductions, and start-up wait).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MpCat(enum.Enum):
+    """Cycle categories for message-passing programs."""
+
+    COMPUTE = "Computation"
+    LOCAL_MISS = "Local Misses"
+    LIB_COMPUTE = "Lib Comp"
+    LIB_MISS = "Lib Misses"
+    NETWORK_ACCESS = "Network Access"
+    BARRIER = "Barriers"
+
+
+#: Categories grouped under "Communication" in the paper's MP tables.
+MP_COMMUNICATION_CATS = (MpCat.LIB_COMPUTE, MpCat.LIB_MISS, MpCat.NETWORK_ACCESS)
+
+
+class SmCat(enum.Enum):
+    """Cycle categories for shared-memory programs."""
+
+    COMPUTE = "Computation"
+    PRIVATE_MISS = "Private Misses"
+    SHARED_MISS = "Shared Misses"
+    WRITE_FAULT = "Write Faults"
+    TLB_MISS = "TLB Misses"
+    SYNC_COMPUTE = "Sync Comp"
+    SYNC_MISS = "Sync Miss"
+    LOCK = "Locks"
+    BARRIER = "Barriers"
+    REDUCTION = "Reductions"
+    STARTUP_WAIT = "Start-up Wait"
+
+
+#: Categories grouped under "Data Access" (or "Cache Misses") in SM tables.
+SM_DATA_ACCESS_CATS = (
+    SmCat.PRIVATE_MISS,
+    SmCat.SHARED_MISS,
+    SmCat.WRITE_FAULT,
+    SmCat.TLB_MISS,
+)
+
+#: Categories grouped under "Synchronization" in SM tables.
+SM_SYNC_CATS = (
+    SmCat.SYNC_COMPUTE,
+    SmCat.SYNC_MISS,
+    SmCat.LOCK,
+    SmCat.BARRIER,
+    SmCat.REDUCTION,
+    SmCat.STARTUP_WAIT,
+)

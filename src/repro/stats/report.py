@@ -1,0 +1,72 @@
+"""Paper-style ASCII rendering of breakdowns and event counts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: (label, cycles, indent-depth)
+BreakdownRow = Tuple[str, float, int]
+#: (label, value-string, indent-depth)
+CountRow = Tuple[str, str, int]
+
+
+def human_quantity(value: float) -> str:
+    """Format counts the way the paper does: 2.4M, 23,590, 774."""
+    if value >= 1e5:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1000:
+        return f"{int(round(value)):,}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def format_breakdown(
+    title: str,
+    rows: Sequence[BreakdownRow],
+    total: float,
+    relative: Optional[Tuple[str, float]] = None,
+) -> str:
+    """Render a time-breakdown table (cycles in millions + percentage).
+
+    Args:
+        title: table caption, e.g. "MSE Message Passing (MSE-MP)".
+        rows: (label, cycles, depth) rows; depth indents sub-categories.
+        total: total cycles (denominator for percentages).
+        relative: optional ("Relative to Shared Memory", 0.98) footer.
+    """
+    lines = [title, "-" * max(len(title), 44)]
+    header = f"{'Category':<28}{'Cycles (M)':>12}{'%':>6}"
+    lines.append(header)
+    for label, cycles, depth in rows:
+        indent = "  " * depth
+        pct = 0.0 if total == 0 else 100.0 * cycles / total
+        lines.append(f"{indent + label:<28}{cycles / 1e6:>12.2f}{pct:>5.0f}%")
+    lines.append(f"{'Total':<28}{total / 1e6:>12.2f}{100:>5.0f}%")
+    if relative is not None:
+        label, ratio = relative
+        lines.append(f"{label:<28}{'':>12}{100 * ratio:>5.0f}%")
+    return "\n".join(lines)
+
+
+def format_counts(title: str, rows: Sequence[CountRow]) -> str:
+    """Render an event-count table (paper Tables 6/7, 10/11, 13/15, 22/23)."""
+    lines = [title, "-" * max(len(title), 44)]
+    for label, value, depth in rows:
+        indent = "  " * depth
+        lines.append(f"{indent + label:<36}{value:>12}")
+    return "\n".join(lines)
+
+
+def format_comparison(title: str, columns: Sequence[str], rows: Sequence[Tuple[str, Sequence[str]]]) -> str:
+    """Simple multi-column table for side-by-side comparisons."""
+    widths: List[int] = [max(len(c), 12) for c in columns]
+    lines = [title, "-" * max(len(title), 44)]
+    header = f"{'':<28}" + "".join(f"{c:>{w + 2}}" for c, w in zip(columns, widths))
+    lines.append(header)
+    for label, values in rows:
+        line = f"{label:<28}" + "".join(
+            f"{v:>{w + 2}}" for v, w in zip(values, widths)
+        )
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Robustness of the applications across workload corners."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d.common import Em3dConfig, build_graph, reference_values
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.apps.gauss.common import GaussConfig, generate_system, residual
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.apps.lcp.common import LcpConfig, generate_problem
+from repro.apps.lcp.sm import run_lcp_sm
+from repro.apps.mse.common import MseConfig
+from repro.apps.mse.mp import run_mse_mp
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+
+def test_gauss_uneven_row_distribution():
+    """n not divisible by P: block sizes differ, result still exact."""
+    config = GaussConfig.small(n=23)  # 23 rows over 4 procs: 5/6/6/6
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=8)
+    _result, x = run_gauss_mp(machine, config)
+    a, b, _x_true = generate_system(config)
+    assert residual(a, b, x) < 1e-8
+
+
+def test_gauss_single_processor():
+    config = GaussConfig.small(n=12)
+    machine = SmMachine(MachineParams.paper(num_processors=1), seed=8)
+    _result, x = run_gauss_sm(machine, config)
+    a, b, _x_true = generate_system(config)
+    assert residual(a, b, x) < 1e-8
+
+
+def test_em3d_zero_remote_edges():
+    """remote_frac=0: no communication in the MP main loop at all."""
+    config = Em3dConfig.small(nodes_per_proc=12, degree=3, remote_frac=0.0,
+                              iterations=3)
+    machine = MpMachine(MachineParams.paper(num_processors=3), seed=8)
+    result, e_vals, h_vals = run_em3d_mp(machine, config)
+    graph = build_graph(config, 3)
+    e_ref, h_ref = reference_values(graph, config.iterations)
+    assert np.allclose(e_vals, e_ref)
+    assert result.board.mean_count("channel_writes", phase="main") == 0
+
+
+def test_em3d_fully_remote_edges():
+    config = Em3dConfig.small(nodes_per_proc=10, degree=2, remote_frac=1.0,
+                              iterations=2)
+    for machine, runner in (
+        (MpMachine(MachineParams.paper(num_processors=3), seed=8), run_em3d_mp),
+        (SmMachine(MachineParams.paper(num_processors=3), seed=8), run_em3d_sm),
+    ):
+        _result, e_vals, _h = runner(machine, config)
+        graph = build_graph(config, 3)
+        e_ref, _h_ref = reference_values(graph, config.iterations)
+        assert np.allclose(e_vals, e_ref)
+
+
+def test_lcp_under_relaxation_still_converges():
+    config = LcpConfig.small(n=32, omega=0.7, tolerance=1e-4)
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=8)
+    _result, z, steps = run_lcp_sm(machine, config)
+    problem = generate_problem(config)
+    assert problem.complementarity_residual(z) < 1e-3
+    assert steps < config.max_steps
+
+
+def test_lcp_max_steps_bound_respected():
+    config = LcpConfig.small(n=32, tolerance=1e-300, max_steps=3)
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=8)
+    _result, _z, steps = run_lcp_sm(machine, config)
+    assert steps == 3
+
+
+def test_mse_all_near_schedule_maximizes_communication():
+    """near_distance large: every pair exchanges every iteration."""
+    base = MseConfig.small(bodies=8, elements_per_body=3, iterations=4)
+    eager = MseConfig(bodies=8, elements_per_body=3, iterations=4,
+                      near_distance=10.0, seed=base.seed)
+    machine_base = MpMachine(MachineParams.paper(num_processors=4), seed=8)
+    r_base, _s = run_mse_mp(machine_base, base)
+    machine_eager = MpMachine(MachineParams.paper(num_processors=4), seed=8)
+    r_eager, _s2 = run_mse_mp(machine_eager, eager)
+    assert (
+        r_eager.board.mean_count("active_messages")
+        >= r_base.board.mean_count("active_messages")
+    )
+
+
+def test_mse_deterministic_across_runs():
+    config = MseConfig.small(bodies=8, elements_per_body=3, iterations=3)
+    r1, s1 = run_mse_mp(MpMachine(MachineParams.paper(num_processors=4), seed=8), config)
+    r2, s2 = run_mse_mp(MpMachine(MachineParams.paper(num_processors=4), seed=8), config)
+    assert (s1 == s2).all()
+    assert r1.elapsed_cycles == r2.elapsed_cycles

@@ -1,0 +1,165 @@
+"""Tests for the EM3D application pair."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d.common import (
+    E,
+    H,
+    Em3dConfig,
+    build_graph,
+    reference_values,
+)
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.arch.params import MachineParams
+from repro.memory.dataspace import HomePolicy
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.stats.categories import MpCat, SmCat
+
+CONFIG = Em3dConfig.small(nodes_per_proc=20, degree=3, iterations=3)
+
+
+def test_graph_is_deterministic():
+    g1 = build_graph(CONFIG, 4)
+    g2 = build_graph(CONFIG, 4)
+    assert g1.out_edges == g2.out_edges
+
+
+def test_graph_degree_and_remote_fraction():
+    config = Em3dConfig.small(nodes_per_proc=100, degree=5, remote_frac=0.3)
+    graph = build_graph(config, 4)
+    for kind in (E, H):
+        for pid in range(4):
+            edges = graph.out_edges[kind][pid]
+            assert len(edges) == 100 * 5
+            remote = sum(1 for (_s, dp, _d, _w) in edges if dp != pid)
+            assert 0.2 < remote / len(edges) < 0.4
+
+
+def test_remote_edges_never_self():
+    graph = build_graph(Em3dConfig.small(remote_frac=1.0), 3)
+    for kind in (E, H):
+        for pid in range(3):
+            for _s, dest_pid, _d, _w in graph.out_edges[kind][pid]:
+                assert dest_pid != pid
+
+
+def test_single_proc_requires_zero_remote():
+    with pytest.raises(ValueError):
+        build_graph(Em3dConfig.small(remote_frac=0.5), 1)
+
+
+def test_in_edges_mirror_out_edges():
+    graph = build_graph(CONFIG, 4)
+    total_out = sum(len(graph.out_edges[E][p]) for p in range(4))
+    total_in = sum(
+        len(deps) for p in range(4) for deps in graph.in_edges(H, p)
+    )
+    assert total_in == total_out  # E out-edges land on H nodes
+
+
+def test_em3d_mp_matches_reference():
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=2)
+    result, e_vals, h_vals = run_em3d_mp(machine, CONFIG)
+    graph = build_graph(CONFIG, 4)
+    e_ref, h_ref = reference_values(graph, CONFIG.iterations)
+    assert np.allclose(e_vals, e_ref)
+    assert np.allclose(h_vals, h_ref)
+
+
+def test_em3d_sm_matches_reference():
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    result, e_vals, h_vals = run_em3d_sm(machine, CONFIG)
+    graph = build_graph(CONFIG, 4)
+    e_ref, h_ref = reference_values(graph, CONFIG.iterations)
+    assert np.allclose(e_vals, e_ref)
+    assert np.allclose(h_vals, h_ref)
+
+
+def test_pair_produces_identical_values():
+    mp_machine = MpMachine(MachineParams.paper(num_processors=4), seed=2)
+    _r1, e_mp, h_mp = run_em3d_mp(mp_machine, CONFIG)
+    sm_machine = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    _r2, e_sm, h_sm = run_em3d_sm(sm_machine, CONFIG)
+    assert np.allclose(e_mp, e_sm)
+    assert np.allclose(h_mp, h_sm)
+
+
+def test_em3d_mp_bulk_channel_communication():
+    """Main-loop communication is a few bulk channel writes, not misses."""
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=2)
+    result, _e, _h = run_em3d_mp(machine, CONFIG)
+    board = result.board
+    # One channel write per neighbor per half-step in the main loop.
+    assert board.mean_count("channel_writes", phase="main") > 0
+    assert board.mean_count("data_bytes") > 0
+    # Lib time present but no shared-memory-style synchronization.
+    assert board.mean_cycles(MpCat.LIB_COMPUTE, phase="main") > 0
+
+
+def test_em3d_sm_uses_locks_in_init_only():
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    result, _e, _h = run_em3d_sm(machine, CONFIG)
+    board = result.board
+    assert board.mean_cycles(SmCat.LOCK, phase="init") > 0
+    assert board.mean_cycles(SmCat.LOCK, phase="main") == 0
+    assert board.mean_cycles(SmCat.BARRIER, phase="main") > 0
+
+
+def test_em3d_sm_producer_consumer_misses():
+    """Every half-step re-misses on remote source values (the 4-message
+    pattern): main-loop shared misses scale with iterations."""
+    short = Em3dConfig.small(nodes_per_proc=20, degree=3, iterations=2)
+    long = Em3dConfig.small(nodes_per_proc=20, degree=3, iterations=6)
+    m1 = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    m2 = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    r1, _e, _h = run_em3d_sm(m1, short)
+    r2, _e2, _h2 = run_em3d_sm(m2, long)
+    misses1 = r1.board.mean_count("shared_misses_remote", phase="main")
+    misses2 = r2.board.mean_count("shared_misses_remote", phase="main")
+    assert misses2 > 2 * misses1
+
+
+def test_em3d_mp_faster_than_sm():
+    """The paper's headline: EM3D-MP is substantially faster."""
+    mp_machine = MpMachine(MachineParams.paper(num_processors=4), seed=2)
+    rmp, _e, _h = run_em3d_mp(mp_machine, CONFIG)
+    sm_machine = SmMachine(MachineParams.paper(num_processors=4), seed=2)
+    rsm, _e2, _h2 = run_em3d_sm(sm_machine, CONFIG)
+    assert rsm.elapsed_cycles > 1.2 * rmp.elapsed_cycles
+
+
+def test_local_allocation_reduces_remote_misses():
+    """Paper Table 17: local placement turns remote misses local.
+
+    The effect requires the paper's geometry — a per-processor working
+    set larger than the cache, so a processor re-misses on its *own*
+    structure data, whose home is remote under round-robin placement but
+    local under local placement. Scale the cache below the working set.
+    """
+    config = Em3dConfig.small(nodes_per_proc=60, degree=5, iterations=3)
+    params = MachineParams.paper(num_processors=4).with_cache_bytes(4096)
+    r_rr, _e, _h = run_em3d_sm(SmMachine(params, seed=2), config)
+    local_machine = SmMachine(
+        params, seed=2, allocation_policy=HomePolicy.LOCAL
+    )
+    r_local, _e2, _h2 = run_em3d_sm(local_machine, config)
+    rr_remote = r_rr.board.mean_count("shared_misses_remote", phase="main")
+    local_remote = r_local.board.mean_count("shared_misses_remote", phase="main")
+    assert local_remote < 0.5 * rr_remote
+    assert r_local.elapsed_cycles < r_rr.elapsed_cycles
+
+
+def test_bigger_cache_reduces_sm_misses():
+    """Paper Table 16: a larger cache removes the capacity misses."""
+    config = Em3dConfig.small(nodes_per_proc=60, degree=5, iterations=3)
+    small_cache = MachineParams.paper(num_processors=4).with_cache_bytes(4096)
+    big_cache = MachineParams.paper(num_processors=4).with_cache_bytes(16384)
+    r_small, _e, _h = run_em3d_sm(SmMachine(small_cache, seed=2), config)
+    r_big, _e2, _h2 = run_em3d_sm(SmMachine(big_cache, seed=2), config)
+    small_misses = r_small.board.mean_count("shared_misses_remote", phase="main")
+    big_misses = r_big.board.mean_count("shared_misses_remote", phase="main")
+    assert big_misses < 0.6 * small_misses
+    assert r_big.elapsed_cycles < r_small.elapsed_cycles

@@ -1,0 +1,122 @@
+"""Tests for the Gauss application pair."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gauss.common import (
+    GaussConfig,
+    generate_system,
+    owner_of_row,
+    residual,
+    row_block,
+)
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.stats.categories import MpCat, SmCat
+
+
+def test_row_block_partition_covers_all_rows():
+    n, nprocs = 37, 8
+    rows = []
+    for pid in range(nprocs):
+        lo, hi = row_block(pid, n, nprocs)
+        rows.extend(range(lo, hi))
+    assert rows == list(range(n))
+
+
+def test_owner_of_row_consistent_with_blocks():
+    n, nprocs = 37, 8
+    for pid in range(nprocs):
+        lo, hi = row_block(pid, n, nprocs)
+        for row in range(lo, hi):
+            assert owner_of_row(row, n, nprocs) == pid
+
+
+def test_generated_system_is_solvable():
+    config = GaussConfig.small(n=24)
+    a, b, x_true = generate_system(config)
+    x = np.linalg.solve(a, b)
+    assert np.allclose(x, x_true, atol=1e-8)
+
+
+def test_system_generation_deterministic():
+    a1, b1, _ = generate_system(GaussConfig.small(n=16))
+    a2, b2, _ = generate_system(GaussConfig.small(n=16))
+    assert (a1 == a2).all() and (b1 == b2).all()
+
+
+def test_gauss_mp_solves_system():
+    config = GaussConfig.small(n=24)
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=1)
+    result, x = run_gauss_mp(machine, config)
+    a, b, x_true = generate_system(config)
+    assert residual(a, b, x) < 1e-8
+    assert np.allclose(x, x_true, atol=1e-6)
+    # All processors agree on the solution.
+    for output in result.outputs:
+        assert np.allclose(output, x)
+
+
+def test_gauss_sm_solves_system():
+    config = GaussConfig.small(n=24)
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=1)
+    result, x = run_gauss_sm(machine, config)
+    a, b, x_true = generate_system(config)
+    assert residual(a, b, x) < 1e-8
+    for output in result.outputs:
+        assert np.allclose(output, x)
+
+
+def test_pair_produces_identical_solutions():
+    """Same algorithm, same pivots: bit-identical answers across machines."""
+    config = GaussConfig.small(n=20)
+    _mp_res, x_mp = run_gauss_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    _sm_res, x_sm = run_gauss_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    assert (x_mp == x_sm).all()
+
+
+def test_gauss_mp_breakdown_shape():
+    """Collectives dominate communication; computation is substantial."""
+    config = GaussConfig.small(n=32)
+    machine = MpMachine(MachineParams.paper(num_processors=8), seed=1)
+    result, _x = run_gauss_mp(machine, config)
+    board = result.board
+    lib = board.mean_cycles(MpCat.LIB_COMPUTE) + board.mean_cycles(
+        MpCat.NETWORK_ACCESS
+    )
+    assert lib > 0
+    assert board.mean_cycles(MpCat.COMPUTE) > 0
+    # Channel-based pivot broadcast happened.
+    assert board.total_count("channel_writes") > 0
+    assert board.total_count("active_messages") > 0
+
+
+def test_gauss_sm_breakdown_shape():
+    """Reductions, barriers, and shared misses all present (paper T9)."""
+    config = GaussConfig.small(n=32)
+    machine = SmMachine(MachineParams.paper(num_processors=8), seed=1)
+    result, _x = run_gauss_sm(machine, config)
+    board = result.board
+    assert board.mean_cycles(SmCat.REDUCTION) > 0
+    assert board.mean_cycles(SmCat.BARRIER) > 0
+    assert board.mean_cycles(SmCat.SHARED_MISS) > 0
+    # Directory contention from the shared-memory broadcast reads.
+    assert machine.directory_contention() > 0
+    # Private misses are negligible: rows live in shared memory.
+    assert board.mean_count("private_misses") < board.mean_count(
+        "shared_misses_remote"
+    ) + board.mean_count("shared_misses_local")
+
+
+def test_too_few_rows_rejected():
+    config = GaussConfig.small(n=2)
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=1)
+    with pytest.raises(ValueError):
+        run_gauss_mp(machine, config)

@@ -1,0 +1,186 @@
+"""Tests for the LCP application pair (sync and async variants)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lcp.common import (
+    LcpConfig,
+    generate_problem,
+    psor_row_update,
+    row_block,
+)
+from repro.apps.lcp.mp import run_lcp_mp
+from repro.apps.lcp.sm import run_lcp_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.stats.categories import MpCat, SmCat
+
+CONFIG = LcpConfig.small(n=48, tolerance=1e-5)
+
+
+def dense_m(problem):
+    n = problem.n
+    m = np.zeros((n, n))
+    for i in range(n):
+        cols, vals = problem.row(i)
+        m[i, cols] = vals
+    m[np.arange(n), np.arange(n)] = problem.diag
+    return m
+
+
+def test_problem_matrix_is_symmetric():
+    problem = generate_problem(CONFIG)
+    m = dense_m(problem)
+    assert np.allclose(m, m.T)
+
+
+def test_problem_is_diagonally_dominant():
+    problem = generate_problem(CONFIG)
+    m = dense_m(problem)
+    off = np.abs(m).sum(axis=1) - np.abs(np.diag(m))
+    assert (np.abs(np.diag(m)) > off).all()
+
+
+def test_rows_have_uniform_nnz_away_from_boundary():
+    problem = generate_problem(LcpConfig.small(n=64))
+    counts = np.diff(problem.indptr)
+    interior = counts[8:-8]
+    assert len(set(interior.tolist())) == 1
+
+
+def test_serial_psor_converges():
+    problem = generate_problem(CONFIG)
+    z = np.zeros(problem.n)
+    for _ in range(400):
+        for i in range(problem.n):
+            z[i] = psor_row_update(problem, z, i, omega=1.0)
+    assert problem.complementarity_residual(z) < 1e-6
+    # Solution properties: z >= 0 and Mz + q >= 0 (within tolerance).
+    assert (z >= 0).all()
+    assert (problem.mz_plus_q(z) >= -1e-6).all()
+
+
+def test_lcp_mp_converges():
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=3)
+    result, z, steps = run_lcp_mp(machine, CONFIG)
+    problem = generate_problem(CONFIG)
+    assert problem.complementarity_residual(z) < 1e-4
+    assert 0 < steps < CONFIG.max_steps
+    # Every processor returns the same step count.
+    assert len({s for (_z, s) in result.outputs}) == 1
+
+
+def test_lcp_sm_converges():
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=3)
+    result, z, steps = run_lcp_sm(machine, CONFIG)
+    problem = generate_problem(CONFIG)
+    assert problem.complementarity_residual(z) < 1e-4
+    assert 0 < steps < CONFIG.max_steps
+
+
+def test_sync_pair_identical_iterates():
+    """LCP-MP and LCP-SM run the same algorithm: same steps, same z."""
+    _r1, z_mp, steps_mp = run_lcp_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    _r2, z_sm, steps_sm = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    assert steps_mp == steps_sm
+    assert np.allclose(z_mp, z_sm)
+
+
+def test_async_variants_converge():
+    _r1, z1, steps_mp = run_lcp_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=3),
+        CONFIG,
+        asynchronous=True,
+    )
+    _r2, z2, steps_sm = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3),
+        CONFIG,
+        asynchronous=True,
+    )
+    problem = generate_problem(CONFIG)
+    assert problem.complementarity_residual(z1) < 1e-4
+    assert problem.complementarity_residual(z2) < 1e-4
+    assert steps_mp < CONFIG.max_steps
+    assert steps_sm < CONFIG.max_steps
+
+
+def test_async_converges_in_no_more_steps():
+    """The paper: asynchronous updates reduce time steps (43 -> 34/35)."""
+    _r, _z, steps_sync = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    _r2, _z2, steps_async = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3),
+        CONFIG,
+        asynchronous=True,
+    )
+    assert steps_async <= steps_sync
+
+
+def test_async_communicates_more():
+    """The paper: async variants trade communication for convergence."""
+    r_sync, _z, _s = run_lcp_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    r_async, _z2, _s2 = run_lcp_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=3),
+        CONFIG,
+        asynchronous=True,
+    )
+    sync_writes = r_sync.board.mean_count("channel_writes")
+    async_writes = r_async.board.mean_count("channel_writes")
+    assert async_writes > 2 * sync_writes
+    assert r_async.board.mean_count("data_bytes") > r_sync.board.mean_count(
+        "data_bytes"
+    )
+
+
+def test_sm_async_more_shared_traffic_per_step():
+    """Async publishes every sweep: more coherence traffic per step.
+
+    (Total traffic can still drop when async converges in far fewer
+    steps — the tradeoff the paper quantifies as computation cycles per
+    data byte transmitted.)
+    """
+    r_sync, _z, steps_sync = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    r_async, _z2, steps_async = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3),
+        CONFIG,
+        asynchronous=True,
+    )
+    sync_traffic = (
+        r_sync.board.mean_count("data_bytes", phase="main")
+        + r_sync.board.mean_count("control_bytes", phase="main")
+    ) / steps_sync
+    async_traffic = (
+        r_async.board.mean_count("data_bytes", phase="main")
+        + r_async.board.mean_count("control_bytes", phase="main")
+    ) / steps_async
+    assert async_traffic > sync_traffic
+
+
+def test_mp_sync_requires_power_of_two():
+    machine = MpMachine(MachineParams.paper(num_processors=3), seed=3)
+    with pytest.raises(ValueError):
+        run_lcp_mp(machine, CONFIG)
+
+
+def test_breakdown_categories_present():
+    r_mp, _z, _s = run_lcp_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    assert r_mp.board.mean_cycles(MpCat.COMPUTE) > 0
+    assert r_mp.board.mean_cycles(MpCat.LIB_COMPUTE) > 0
+    r_sm, _z2, _s2 = run_lcp_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=3), CONFIG
+    )
+    assert r_sm.board.mean_cycles(SmCat.COMPUTE) > 0
+    assert r_sm.board.mean_cycles(SmCat.SYNC_COMPUTE) > 0
+    assert r_sm.board.mean_cycles(SmCat.BARRIER) > 0

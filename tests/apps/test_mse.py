@@ -1,0 +1,144 @@
+"""Tests for the MSE application pair."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mse.common import (
+    MseConfig,
+    body_block,
+    generate_problem,
+    owner_of_body,
+    refresh_period,
+)
+from repro.apps.mse.mp import run_mse_mp
+from repro.apps.mse.sm import run_mse_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.stats.categories import MpCat, SmCat
+
+CONFIG = MseConfig.small(bodies=8, elements_per_body=4, iterations=5)
+
+
+def test_problem_generation_deterministic():
+    p1 = generate_problem(CONFIG)
+    p2 = generate_problem(CONFIG)
+    assert (p1.positions == p2.positions).all()
+    assert (p1.periods == p2.periods).all()
+
+
+def test_schedule_periods_structure():
+    problem = generate_problem(MseConfig.small(bodies=16))
+    assert (np.diag(problem.periods) == 1).all()
+    assert (problem.periods == problem.periods.T).all()
+    assert problem.periods.min() >= 1
+    assert problem.periods.max() <= problem.config.max_period
+    # Distant pairs exchange less often than the nearest pairs.
+    assert problem.periods.max() > 1
+
+
+def test_refresh_period_is_min_over_owned_bodies():
+    problem = generate_problem(MseConfig.small(bodies=8))
+    lo, hi = body_block(0, 8, 4)
+    for body in range(8):
+        expected = int(problem.periods[lo:hi, body].min())
+        assert refresh_period(problem, 0, body, 4) == expected
+
+
+def test_serial_jacobi_converges():
+    problem = generate_problem(CONFIG)
+    n = CONFIG.total_elements
+    solution = np.zeros(n)
+    initial = problem.residual(solution)
+    for _ in range(30):
+        new = np.array(
+            [problem.jacobi_row_update(solution, i, 0.9) for i in range(n)]
+        )
+        solution = new
+    assert problem.residual(solution) < 0.01 * initial
+
+
+def test_mse_mp_converges():
+    machine = MpMachine(MachineParams.paper(num_processors=4), seed=4)
+    result, solution = run_mse_mp(machine, CONFIG)
+    problem = generate_problem(CONFIG)
+    zero = problem.residual(np.zeros(CONFIG.total_elements))
+    assert problem.residual(solution) < 0.2 * zero
+
+
+def test_mse_sm_converges():
+    machine = SmMachine(MachineParams.paper(num_processors=4), seed=4)
+    result, solution = run_mse_sm(machine, CONFIG)
+    problem = generate_problem(CONFIG)
+    zero = problem.residual(np.zeros(CONFIG.total_elements))
+    assert problem.residual(solution) < 0.2 * zero
+
+
+def test_pair_reaches_similar_solutions():
+    """Asynchronous Jacobi: versions agree approximately, not exactly."""
+    _r1, s_mp = run_mse_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    _r2, s_sm = run_mse_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    assert np.allclose(s_mp, s_sm, rtol=0.1, atol=0.05)
+
+
+def test_computation_dominates_both_versions():
+    """The paper: MSE is computation-bound (90% MP, 82% SM)."""
+    r_mp, _s = run_mse_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    comp = r_mp.board.mean_cycles(MpCat.COMPUTE)
+    assert comp / r_mp.board.mean_total() > 0.6
+    r_sm, _s2 = run_mse_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    comp = r_sm.board.mean_cycles(SmCat.COMPUTE)
+    assert comp / r_sm.board.mean_total() > 0.6
+
+
+def test_sm_shared_misses_follow_schedule():
+    """Shared misses stay a small fraction of the computation."""
+    r_sm, _s = run_mse_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    shared = r_sm.board.mean_cycles(SmCat.SHARED_MISS)
+    assert 0 < shared < 0.3 * r_sm.board.mean_total()
+
+
+def test_sm_startup_imbalance_shows_up():
+    """Processor 0's sequential setup surfaces as start-up/barrier time."""
+    r_sm, _s = run_mse_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    for proc in r_sm.board.procs[1:]:
+        assert proc.cycles.get(SmCat.STARTUP_WAIT, 0) > 0
+    assert r_sm.board.procs[0].cycles.get(SmCat.STARTUP_WAIT, 0) == 0
+
+
+def test_mp_requests_are_serviced_asynchronously():
+    r_mp, _s = run_mse_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=4), CONFIG
+    )
+    board = r_mp.board
+    assert board.total_count("active_messages") > 0
+    assert board.mean_count("messages_sent") > 0
+    # Communication shows up as library time, not barriers.
+    assert board.mean_cycles(MpCat.LIB_COMPUTE) > 0
+
+
+def test_owner_of_body():
+    for body in range(8):
+        pid = owner_of_body(body, 8, 4)
+        lo, hi = body_block(pid, 8, 4)
+        assert lo <= body < hi
+
+
+def test_too_few_bodies_rejected():
+    with pytest.raises(ValueError):
+        run_mse_mp(
+            MpMachine(MachineParams.paper(num_processors=4), seed=4),
+            MseConfig.small(bodies=2),
+        )

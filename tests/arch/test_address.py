@@ -1,0 +1,47 @@
+"""Unit tests for address-range block/page decomposition."""
+
+import pytest
+
+from repro.arch.address import AddressRange, align_up, block_span
+
+
+def test_block_span_aligned_range():
+    assert list(block_span(0, 64, 32)) == [0, 32]
+
+
+def test_block_span_straddles_boundaries():
+    # Bytes [30, 70) touch blocks 0, 32, 64.
+    assert list(block_span(30, 40, 32)) == [0, 32, 64]
+
+
+def test_block_span_single_byte():
+    assert list(block_span(33, 1, 32)) == [32]
+
+
+def test_block_span_empty():
+    assert list(block_span(100, 0, 32)) == []
+
+
+def test_address_range_end():
+    r = AddressRange(10, 20)
+    assert r.end == 30
+
+
+def test_address_range_blocks_and_pages():
+    r = AddressRange(4090, 10)  # straddles a 4K page boundary
+    assert list(r.pages(4096)) == [0, 4096]
+    assert list(r.blocks(32)) == [4064, 4096]
+
+
+def test_negative_range_rejected():
+    with pytest.raises(ValueError):
+        AddressRange(-1, 5)
+    with pytest.raises(ValueError):
+        AddressRange(0, -5)
+
+
+def test_align_up():
+    assert align_up(0, 32) == 0
+    assert align_up(1, 32) == 32
+    assert align_up(32, 32) == 32
+    assert align_up(33, 32) == 64

@@ -1,0 +1,67 @@
+"""Unit tests for the hardware barrier."""
+
+import pytest
+
+from repro.arch.barrier import HardwareBarrier
+from repro.sim.engine import Engine
+from repro.sim.process import Delay, Process
+
+
+def run_barrier(arrival_delays, latency=100):
+    engine = Engine()
+    barrier = HardwareBarrier(engine, len(arrival_delays), latency)
+    releases = {}
+
+    def body(pid, delay):
+        yield Delay(delay)
+        waited = yield from barrier.arrive()
+        releases[pid] = (engine.now, waited)
+
+    for pid, delay in enumerate(arrival_delays):
+        Process(engine, body(pid, delay))
+    engine.run()
+    return releases, barrier
+
+
+def test_release_is_latency_after_last_arrival():
+    releases, _b = run_barrier([0, 30, 70])
+    assert all(t == 170 for t, _w in releases.values())
+
+
+def test_wait_times_reflect_arrival_order():
+    releases, _b = run_barrier([0, 30, 70])
+    assert releases[0][1] == 170
+    assert releases[1][1] == 140
+    assert releases[2][1] == 100
+
+
+def test_single_participant():
+    releases, _b = run_barrier([5], latency=100)
+    assert releases[0] == (105, 100)
+
+
+def test_barrier_is_reusable_across_rounds():
+    engine = Engine()
+    barrier = HardwareBarrier(engine, 2, 10)
+    log = []
+
+    def body(pid):
+        for round_number in range(3):
+            yield Delay(pid * 5)
+            yield from barrier.arrive()
+            log.append((round_number, pid, engine.now))
+
+    Process(engine, body(0))
+    Process(engine, body(1))
+    engine.run()
+    assert barrier.rounds_completed == 3
+    # Within each round, both released at the same instant.
+    by_round = {}
+    for round_number, _pid, t in log:
+        by_round.setdefault(round_number, set()).add(t)
+    assert all(len(times) == 1 for times in by_round.values())
+
+
+def test_zero_participants_rejected():
+    with pytest.raises(ValueError):
+        HardwareBarrier(Engine(), 0, 100)

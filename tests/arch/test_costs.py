@@ -1,0 +1,29 @@
+"""Unit tests for the computation cost model."""
+
+from repro.arch.costs import CostModel
+
+
+def test_flops_scale_linearly():
+    model = CostModel()
+    assert model.flops(100) == 2 * model.flops(50)
+
+
+def test_zero_counts_are_free():
+    model = CostModel()
+    assert model.flops(0) == 0
+    assert model.loop(0) == 0
+    assert model.copy(0) == 0
+
+
+def test_costs_are_nonnegative_ints():
+    model = CostModel()
+    for value in (model.flops(3.7), model.divs(1), model.int_ops(5),
+                  model.loop(2.5), model.calls(1), model.copy(10)):
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+def test_copy_is_cheaper_than_flops_per_byte():
+    model = CostModel()
+    # Word-at-a-time copy beats recomputing: sanity of relative rates.
+    assert model.copy(8) < model.flops(8)

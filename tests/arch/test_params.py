@@ -1,0 +1,77 @@
+"""Transcription checks against the paper's Tables 1-3."""
+
+import pytest
+
+from repro.arch.params import CommonParams, MachineParams, MpParams, SmParams
+
+
+def test_table1_common_hardware():
+    p = CommonParams()
+    assert p.cache_bytes == 256 * 1024
+    assert p.cache_assoc == 4
+    assert p.block_bytes == 32
+    assert p.tlb_entries == 64
+    assert p.page_bytes == 4096
+    assert p.network_latency == 100
+    assert p.barrier_latency == 100
+    assert p.local_miss_cycles == 11
+    assert p.dram_cycles == 10
+
+
+def test_table1_derived_quantities():
+    p = CommonParams()
+    assert p.cache_sets == 2048
+    assert p.local_miss_total_cycles == 21
+
+
+def test_table2_message_passing():
+    p = MpParams()
+    assert p.replacement_cycles == 1
+    assert p.ni_status_cycles == 5
+    assert p.ni_write_tag_dest_cycles == 5
+    assert p.ni_send_5_words_cycles == 15
+    assert p.ni_recv_5_words_cycles == 15
+    assert p.packet_bytes == 20
+    assert p.packet_payload_bytes == 16
+    assert p.packet_header_bytes == 4
+    assert p.send_packet_cycles == 20
+    assert p.recv_packet_cycles == 15
+
+
+def test_table3_shared_memory():
+    p = SmParams()
+    assert p.self_message_cycles == 10
+    assert p.shared_miss_cycles == 19
+    assert p.invalidate_cycles == 3
+    assert p.replacement_private_cycles == 1
+    assert p.replacement_shared_clean_cycles == 5
+    assert p.replacement_shared_dirty_cycles == 13
+    assert p.directory_base_cycles == 10
+    assert p.directory_recv_block_cycles == 8
+    assert p.directory_send_msg_cycles == 5
+    assert p.directory_send_block_cycles == 8
+    assert p.message_bytes == 40
+    assert p.block_message_control_bytes == 8
+
+
+def test_paper_machine_defaults():
+    m = MachineParams.paper()
+    assert m.common.num_processors == 32
+
+
+def test_with_cache_bytes_override():
+    m = MachineParams.paper().with_cache_bytes(1024 * 1024)
+    assert m.common.cache_bytes == 1024 * 1024
+    assert m.common.cache_sets == 8192
+    # Original untouched (frozen dataclasses).
+    assert MachineParams.paper().common.cache_bytes == 256 * 1024
+
+
+def test_with_processors_override():
+    m = MachineParams.paper().with_processors(8)
+    assert m.common.num_processors == 8
+
+
+def test_invalid_cache_geometry_rejected():
+    with pytest.raises(ValueError):
+        CommonParams(cache_bytes=1000)  # not a multiple of assoc * block

@@ -1,0 +1,45 @@
+"""Unit tests for the FIFO TLB."""
+
+import pytest
+
+from repro.arch.tlb import Tlb
+
+
+def test_miss_then_hit_same_page():
+    tlb = Tlb(entries=4, page_bytes=4096)
+    assert tlb.access(0) is False
+    assert tlb.access(100) is True
+    assert tlb.access(4095) is True
+    assert tlb.access(4096) is False
+    assert tlb.misses == 2
+    assert tlb.hits == 2
+
+
+def test_fifo_eviction_order():
+    tlb = Tlb(entries=2, page_bytes=4096)
+    tlb.access(0)  # page 0
+    tlb.access(4096)  # page 1
+    tlb.access(0)  # hit: must NOT refresh page 0 (FIFO, not LRU)
+    tlb.access(8192)  # page 2 evicts page 0 (the oldest)
+    assert tlb.contains(4096)
+    assert not tlb.contains(0)
+
+
+def test_capacity_limit():
+    tlb = Tlb(entries=3, page_bytes=4096)
+    for i in range(5):
+        tlb.access(i * 4096)
+    resident = sum(tlb.contains(i * 4096) for i in range(5))
+    assert resident == 3
+
+
+def test_flush():
+    tlb = Tlb(entries=4, page_bytes=4096)
+    tlb.access(0)
+    tlb.flush()
+    assert not tlb.contains(0)
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ValueError):
+        Tlb(entries=0, page_bytes=4096)

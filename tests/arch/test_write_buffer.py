@@ -1,0 +1,22 @@
+"""Unit tests for the infinite write buffer."""
+
+from repro.arch.write_buffer import WriteBuffer
+
+
+def test_constant_drain_cost():
+    buffer = WriteBuffer(drain_cycles=1)
+    assert buffer.accept(32) == 1
+    assert buffer.accept(32) == 1
+
+
+def test_accounting():
+    buffer = WriteBuffer()
+    for _ in range(5):
+        buffer.accept(32)
+    assert buffer.entries_accepted == 5
+    assert buffer.bytes_accepted == 160
+
+
+def test_custom_drain_cost():
+    buffer = WriteBuffer(drain_cycles=3)
+    assert buffer.accept(64) == 3

@@ -1,0 +1,82 @@
+"""Unit tests for breakdown/count records."""
+
+from repro.core.breakdown import MpBreakdown, MpCounts, SmBreakdown, SmCounts
+from repro.stats.categories import MpCat, SmCat
+from repro.stats.collector import ProcStats, StatsBoard
+
+
+def mp_board():
+    proc = ProcStats(0)
+    proc.charge(MpCat.COMPUTE, 900)
+    proc.charge(MpCat.LOCAL_MISS, 40)
+    proc.charge(MpCat.LIB_COMPUTE, 30)
+    proc.charge(MpCat.LIB_MISS, 10)
+    proc.charge(MpCat.NETWORK_ACCESS, 15)
+    proc.charge(MpCat.BARRIER, 5)
+    proc.count("data_bytes", 300)
+    proc.count("control_bytes", 100)
+    proc.count("messages_sent", 20)
+    return StatsBoard([proc])
+
+
+def sm_board():
+    proc = ProcStats(0)
+    proc.charge(SmCat.COMPUTE, 800)
+    proc.charge(SmCat.PRIVATE_MISS, 50)
+    proc.charge(SmCat.SHARED_MISS, 100)
+    proc.charge(SmCat.WRITE_FAULT, 20)
+    proc.charge(SmCat.BARRIER, 30)
+    proc.count("shared_misses_local", 3)
+    proc.count("shared_misses_remote", 7)
+    proc.count("data_bytes", 200)
+    return StatsBoard([proc])
+
+
+def test_mp_breakdown_groups_communication():
+    breakdown = MpBreakdown.from_board(mp_board())
+    assert breakdown.communication == 55
+    assert breakdown.total == 1000
+    labels = [label for label, _v, _d in breakdown.rows()]
+    assert "Communication" in labels
+    assert "Lib Comp" in labels
+    assert "Barriers" in labels
+
+
+def test_mp_breakdown_omits_zero_barriers():
+    proc = ProcStats(0)
+    proc.charge(MpCat.COMPUTE, 10)
+    breakdown = MpBreakdown.from_board(StatsBoard([proc]))
+    labels = [label for label, _v, _d in breakdown.rows()]
+    assert "Barriers" not in labels
+
+
+def test_sm_breakdown_groups():
+    breakdown = SmBreakdown.from_board(sm_board())
+    assert breakdown.data_access == 170
+    assert breakdown.synchronization == 30
+    assert breakdown.total == 1000
+
+
+def test_mp_counts_intensity_metric():
+    counts = MpCounts.from_board(mp_board())
+    assert counts.bytes_transmitted == 400
+    assert counts.comp_cycles_per_data_byte == 900 / 300
+
+
+def test_mp_counts_no_data_bytes():
+    proc = ProcStats(0)
+    proc.charge(MpCat.COMPUTE, 10)
+    counts = MpCounts.from_board(StatsBoard([proc]))
+    assert counts.comp_cycles_per_data_byte == float("inf")
+
+
+def test_sm_counts_remote_fraction():
+    counts = SmCounts.from_board(sm_board())
+    assert counts.shared_misses == 10
+    assert counts.remote_fraction == 0.7
+
+
+def test_sm_counts_zero_misses():
+    proc = ProcStats(0)
+    counts = SmCounts.from_board(StatsBoard([proc]))
+    assert counts.remote_fraction == 0.0

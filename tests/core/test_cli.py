@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "em3d" in out
+    assert "Tables" in out
+
+
+def test_run_requires_experiments(capsys):
+    assert main(["run"]) == 2
+
+
+def test_run_unknown_experiment_fails_fast():
+    with pytest.raises(KeyError):
+        main(["run", "nope"])
+
+
+def test_run_validation(capsys):
+    assert main(["run", "validation"]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS]" in out
+    assert "Section 4.1" in out
+
+
+def test_parser_rejects_no_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

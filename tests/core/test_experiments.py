@@ -1,0 +1,62 @@
+"""Registry tests (cheap ones; full experiments run in benchmarks/)."""
+
+import pytest
+
+from repro.core.experiments import (
+    EXPERIMENTS,
+    clear_cache,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "mse",
+    "gauss",
+    "gauss_collectives",
+    "gauss_contention",
+    "em3d",
+    "em3d_bigcache",
+    "em3d_localalloc",
+    "em3d_protocols",
+    "lcp",
+    "alcp",
+    "validation",
+}
+
+
+def test_registry_covers_all_paper_tables():
+    assert set(EXPERIMENTS) == EXPECTED_IDS
+    covered = " ".join(spec.paper_tables for spec in EXPERIMENTS.values())
+    for table in range(4, 24):
+        assert str(table) in covered, f"paper table {table} not mapped"
+
+
+def test_specs_are_complete():
+    for spec in EXPERIMENTS.values():
+        assert spec.title
+        assert spec.description
+        assert callable(spec.runner)
+        assert callable(spec.shape)
+        assert spec.paper, f"{spec.id} has no paper reference values"
+
+
+def test_get_experiment_unknown():
+    with pytest.raises(KeyError):
+        get_experiment("nope")
+
+
+def test_validation_experiment_runs_and_passes():
+    clear_cache()
+    result = run_experiment("validation")
+    checks = EXPERIMENTS["validation"].shape(result)
+    assert checks
+    for name, ok, detail in checks:
+        assert ok, f"{name}: {detail}"
+
+
+def test_results_are_memoized():
+    clear_cache()
+    first = run_experiment("validation")
+    second = run_experiment("validation")
+    assert first is second
+    clear_cache()

@@ -1,0 +1,92 @@
+"""Consistency checks on the transcribed paper results.
+
+These tests hold the transcription itself to account: component rows
+must sum to the printed totals (within the paper's 0.1M rounding), and
+the derived metrics must match the printed ones.
+"""
+
+import pytest
+
+from repro.core import paper_data as pd
+
+
+@pytest.mark.parametrize("key", sorted(pd.MP_BREAKDOWNS))
+def test_mp_breakdown_components_sum_to_total(key):
+    row = pd.MP_BREAKDOWNS[key]
+    total = row.computation + row.local_misses + row.communication + row.barriers
+    # Paper prints one decimal per row: allow cumulative rounding slack.
+    assert total == pytest.approx(row.total, abs=0.5), key
+
+
+@pytest.mark.parametrize("key", sorted(pd.SM_BREAKDOWNS))
+def test_sm_breakdown_components_sum_to_total(key):
+    row = pd.SM_BREAKDOWNS[key]
+    total = row.computation + row.cache_misses + row.synchronization
+    assert total == pytest.approx(row.total, abs=0.5), key
+
+
+@pytest.mark.parametrize("key", sorted(pd.SM_COUNTS))
+def test_sm_counts_local_plus_remote(key):
+    row = pd.SM_COUNTS[key]
+    assert row.shared_local + row.shared_remote == pytest.approx(
+        row.shared_misses, rel=0.02
+    )
+
+
+def test_relative_ratios_match_totals():
+    for app in ("mse", "gauss", "lcp", "alcp"):
+        mp = pd.MP_BREAKDOWNS[app]
+        sm = pd.SM_BREAKDOWNS[app]
+        assert mp.total / sm.total == pytest.approx(mp.relative_to_sm, abs=0.03)
+        assert sm.total / mp.total == pytest.approx(sm.relative_to_mp, abs=0.03)
+
+
+def test_em3d_phases_sum_to_total():
+    for side in (pd.MP_BREAKDOWNS, pd.SM_BREAKDOWNS):
+        init, main, total = (
+            side["em3d_init"], side["em3d_main"], side["em3d_total"]
+        )
+        assert init.total + main.total == pytest.approx(total.total, abs=0.6)
+        assert init.computation + main.computation == pytest.approx(
+            total.computation, abs=0.5
+        )
+
+
+def test_em3d_headline_ratio():
+    mp = pd.MP_BREAKDOWNS["em3d_total"]
+    sm = pd.SM_BREAKDOWNS["em3d_total"]
+    assert sm.total / mp.total == pytest.approx(2.0, abs=0.05)
+
+
+def test_intensity_metric_is_derivable():
+    """comp cycles / data bytes matches the printed metric (paper
+    computes it from per-processor averages, as we do)."""
+    for key, counts in pd.MP_COUNTS.items():
+        base = key.split("_")[0]
+        breakdown_key = {"em3d": "em3d_main"}.get(base, base)
+        if key == "em3d_main":
+            breakdown_key = "em3d_main"
+        if key in ("lcp", "alcp"):
+            breakdown_key = key
+        computation = pd.MP_BREAKDOWNS[breakdown_key].computation * 1e6
+        derived = computation / counts.bytes_data
+        assert derived == pytest.approx(counts.comp_per_data_byte, rel=0.15), key
+
+
+def test_collective_strategy_ordering():
+    s = pd.COLLECTIVE_STRATEGIES_M
+    assert s["lopsided"] < s["binary"] < s["flat"]
+
+
+def test_contention_figures():
+    c = pd.GAUSS_CONTENTION
+    assert c["avg_shared_miss_cycles"] > c["idle_shared_miss_cycles"]
+    assert (
+        c["avg_shared_miss_cycles"] - c["idle_shared_miss_cycles"]
+        > c["avg_directory_queue_delay"]
+    )
+
+
+def test_async_converges_faster():
+    assert pd.LCP_STEPS["async_sm"] < pd.LCP_STEPS["sync"]
+    assert pd.LCP_STEPS["async_mp"] < pd.LCP_STEPS["sync"]

@@ -1,0 +1,40 @@
+"""Tests for the paper-vs-measured share comparison rendering."""
+
+import pytest
+
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.arch.params import MachineParams
+from repro.core.study import PairResult
+from repro.core.tables import render_share_comparison
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+
+@pytest.fixture(scope="module")
+def gauss_pair():
+    config = GaussConfig.small(n=24)
+    mp_result, _x = run_gauss_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    sm_result, _x2 = run_gauss_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    return PairResult(name="Gauss", mp_result=mp_result, sm_result=sm_result)
+
+
+def test_share_comparison_renders(gauss_pair):
+    text = render_share_comparison(gauss_pair, "gauss")
+    assert "paper (32p)" in text
+    assert "this run" in text
+    assert "MP communication" in text
+    # Paper's Gauss-MP library+NI communication is 28.3M of 71.0M (40%;
+    # the table's 42% "Broadcast/Reduction" group also includes its
+    # barriers).
+    assert "40%" in text
+
+
+def test_share_comparison_unknown_key(gauss_pair):
+    with pytest.raises(KeyError):
+        render_share_comparison(gauss_pair, "nope")

@@ -1,0 +1,82 @@
+"""Integration tests: pair study and paper-style rendering."""
+
+import pytest
+
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.arch.params import MachineParams
+from repro.core.study import PairResult
+from repro.core.tables import (
+    render_mp_breakdown,
+    render_mp_counts,
+    render_pair,
+    render_sm_breakdown,
+    render_sm_counts,
+)
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+
+@pytest.fixture(scope="module")
+def gauss_pair():
+    config = GaussConfig.small(n=24)
+    mp_result, _x = run_gauss_mp(
+        MpMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    sm_result, _x2 = run_gauss_sm(
+        SmMachine(MachineParams.paper(num_processors=4), seed=1), config
+    )
+    return PairResult(
+        name="Gauss", mp_result=mp_result, sm_result=sm_result,
+        phases=["init", "main"],
+    )
+
+
+def test_relative_ratios_are_reciprocal(gauss_pair):
+    assert gauss_pair.mp_relative_to_sm == pytest.approx(
+        1.0 / gauss_pair.sm_relative_to_mp
+    )
+
+
+def test_totals_positive(gauss_pair):
+    assert gauss_pair.mp_total > 0
+    assert gauss_pair.sm_total > 0
+
+
+def test_phase_breakdowns_sum_to_whole(gauss_pair):
+    whole = gauss_pair.mp_breakdown().total
+    init = gauss_pair.mp_breakdown(phase="init").total
+    main = gauss_pair.mp_breakdown(phase="main").total
+    assert init + main == pytest.approx(whole, rel=1e-9)
+
+
+def test_render_mp_breakdown(gauss_pair):
+    text = render_mp_breakdown(gauss_pair)
+    assert "Gauss Message Passing (Gauss-MP)" in text
+    assert "Computation" in text
+    assert "Relative to Shared Memory" in text
+
+
+def test_render_sm_breakdown(gauss_pair):
+    text = render_sm_breakdown(gauss_pair)
+    assert "Gauss Shared Memory (Gauss-SM)" in text
+    assert "Synchronization" in text
+
+
+def test_render_counts(gauss_pair):
+    mp_text = render_mp_counts(gauss_pair)
+    assert "Computation Cycles Per Data Byte" in mp_text
+    sm_text = render_sm_counts(gauss_pair)
+    assert "Remote" in sm_text
+
+
+def test_render_pair_with_phases(gauss_pair):
+    text = render_pair(gauss_pair, phases=True)
+    assert "[init]" in text
+    assert "[main]" in text
+
+
+def test_phase_specific_render(gauss_pair):
+    text = render_mp_breakdown(gauss_pair, phase="main")
+    assert "[main]" in text

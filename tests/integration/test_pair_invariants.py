@@ -1,0 +1,118 @@
+"""Cross-machine invariants: the paper's methodological core.
+
+"Because of the commonalities, we can compare where these pairs of
+programs spend their time" — which requires that each pair charges
+(nearly) the same computation. These tests assert that property for
+every application pair, plus accounting sanity: a processor's charged
+cycles track its elapsed time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d.common import Em3dConfig
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.apps.lcp.common import LcpConfig
+from repro.apps.lcp.mp import run_lcp_mp
+from repro.apps.lcp.sm import run_lcp_sm
+from repro.apps.mse.common import MseConfig
+from repro.apps.mse.mp import run_mse_mp
+from repro.apps.mse.sm import run_mse_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.stats.categories import MpCat, SmCat
+
+PARAMS = MachineParams.paper(num_processors=4)
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    """Run all four application pairs once at test scale."""
+    results = {}
+    r, _ = run_gauss_mp(MpMachine(PARAMS, seed=6), GaussConfig.small(n=24))
+    results["gauss_mp"] = r
+    r, _ = run_gauss_sm(SmMachine(PARAMS, seed=6), GaussConfig.small(n=24))
+    results["gauss_sm"] = r
+    em3d_config = Em3dConfig.small(nodes_per_proc=16, degree=3, iterations=3)
+    r, _e, _h = run_em3d_mp(MpMachine(PARAMS, seed=6), em3d_config)
+    results["em3d_mp"] = r
+    r, _e, _h = run_em3d_sm(SmMachine(PARAMS, seed=6), em3d_config)
+    results["em3d_sm"] = r
+    lcp_config = LcpConfig.small(n=32, tolerance=1e-4)
+    r, _z, _s = run_lcp_mp(MpMachine(PARAMS, seed=6), lcp_config)
+    results["lcp_mp"] = r
+    r, _z, _s = run_lcp_sm(SmMachine(PARAMS, seed=6), lcp_config)
+    results["lcp_sm"] = r
+    mse_config = MseConfig.small(bodies=8, elements_per_body=3, iterations=4)
+    r, _s = run_mse_mp(MpMachine(PARAMS, seed=6), mse_config)
+    results["mse_mp"] = r
+    r, _s = run_mse_sm(SmMachine(PARAMS, seed=6), mse_config)
+    results["mse_sm"] = r
+    return results
+
+
+@pytest.mark.parametrize("app", ["gauss", "em3d", "lcp", "mse"])
+def test_computation_cycles_match_across_machines(pairs, app):
+    """Same algorithm + same cost model => nearly equal computation.
+
+    (The paper: "the time each pair of programs spent computing was
+    very close".) Library/sync bookkeeping differs; pure computation
+    must agree within a few percent.
+    """
+    mp_compute = pairs[f"{app}_mp"].board.mean_cycles(MpCat.COMPUTE)
+    sm_compute = pairs[f"{app}_sm"].board.mean_cycles(SmCat.COMPUTE)
+    assert mp_compute > 0 and sm_compute > 0
+    ratio = mp_compute / sm_compute
+    assert 0.85 <= ratio <= 1.25, f"{app}: compute ratio {ratio:.2f}"
+
+
+@pytest.mark.parametrize(
+    "key",
+    ["gauss_mp", "gauss_sm", "em3d_mp", "em3d_sm",
+     "lcp_mp", "lcp_sm", "mse_mp", "mse_sm"],
+)
+def test_charged_cycles_track_elapsed_time(pairs, key):
+    """Every processor's charged categories approximate its busy life.
+
+    Charged cycles can under-count elapsed (time parked in uncharged
+    states is small) and never meaningfully exceed it.
+    """
+    result = pairs[key]
+    elapsed = result.elapsed_cycles
+    for proc in result.board.procs:
+        total = proc.total_cycles()
+        assert total <= 1.05 * elapsed, (
+            f"{key} p{proc.pid}: charged {total} > elapsed {elapsed}"
+        )
+        assert total >= 0.5 * elapsed, (
+            f"{key} p{proc.pid}: charged {total} < half of elapsed {elapsed}"
+        )
+
+
+@pytest.mark.parametrize("app", ["gauss", "em3d", "lcp", "mse"])
+def test_every_processor_contributes(pairs, app):
+    """No processor sits entirely idle in any version."""
+    for suffix in ("mp", "sm"):
+        board = pairs[f"{app}_{suffix}"].board
+        for proc in board.procs:
+            assert proc.total_cycles() > 0
+
+
+def test_mp_machines_report_message_traffic(pairs):
+    for app in ("gauss", "em3d", "lcp", "mse"):
+        board = pairs[f"{app}_mp"].board
+        assert board.total_count("messages_sent") > 0
+        assert board.total_count("data_bytes") > 0
+
+
+def test_sm_machines_report_coherence_traffic(pairs):
+    for app in ("gauss", "em3d", "lcp"):
+        board = pairs[f"{app}_sm"].board
+        misses = board.total_count("shared_misses_remote")
+        assert misses > 0
+        assert board.total_count("control_bytes") > 0

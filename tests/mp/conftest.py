@@ -1,0 +1,17 @@
+"""Shared fixtures for message-passing machine tests."""
+
+import pytest
+
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+
+
+@pytest.fixture
+def machine4():
+    """A small 4-processor message-passing machine."""
+    return MpMachine(MachineParams.paper(num_processors=4), seed=7)
+
+
+@pytest.fixture
+def machine2():
+    return MpMachine(MachineParams.paper(num_processors=2), seed=7)

@@ -1,0 +1,129 @@
+"""Tests for the active-message layer."""
+
+import pytest
+
+from repro.mp.machine import DeadlockError
+from repro.stats.categories import MpCat
+
+
+def test_am_roundtrip(machine2):
+    received = []
+
+    def on_ping(ctx, packet):
+        received.append((ctx.pid, packet.src, packet.payload))
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("ping", on_ping)
+        yield from ctx.barrier()  # handlers registered everywhere
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "ping", 42, 43)
+        else:
+            yield from ctx.poll_wait(lambda: received)
+
+    machine2.run(program)
+    assert received == [(1, 0, (42, 43))]
+
+
+def test_am_counts_and_bytes(machine2):
+    def on_msg(ctx, packet):
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("msg", on_msg)
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "msg", 5, data_bytes=8)
+            yield from ctx.barrier()
+        else:
+            yield from ctx.poll_wait(lambda: ctx.ni.packets_dequeued >= 1)
+            yield from ctx.barrier()
+
+    result = machine2.run(program)
+    sender = result.board.procs[0]
+    assert sender.counts["active_messages"] == 1
+    assert sender.counts["messages_sent"] == 1
+    assert sender.counts["data_bytes"] == 8
+    assert sender.counts["control_bytes"] == 12  # 20-byte packet - 8 data
+
+
+def test_am_latency_is_network_plus_overheads(machine2):
+    arrival_time = {}
+
+    def on_t(ctx, packet):
+        arrival_time[ctx.pid] = ctx.engine.now
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("t", on_t)
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "t")
+        else:
+            yield from ctx.poll_wait(lambda: 1 in arrival_time)
+
+    machine2.run(program)
+    # send: lib 25 + inject 20; network 100; receiver: status 5 + recv 15
+    # + handler 35: at least 200 cycles in total.
+    assert arrival_time[1] >= 25 + 20 + 100 + 5 + 15
+
+
+def test_unknown_handler_raises(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "nope")
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            yield from ctx.drain_polls()
+
+    with pytest.raises(Exception):
+        machine2.run(program)
+
+
+def test_duplicate_handler_rejected(machine2):
+    ctx = machine2.contexts[0]
+    ctx.am.register("dup", lambda c, p: iter(()))
+    with pytest.raises(ValueError):
+        ctx.am.register("dup", lambda c, p: iter(()))
+
+
+def test_oversized_am_rejected(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "x", data_bytes=17)
+
+    with pytest.raises(Exception):
+        machine2.run(program)
+
+
+def test_deadlock_detection(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            yield from ctx.poll_wait(lambda: False)  # waits forever
+
+    with pytest.raises(DeadlockError):
+        machine2.run(program)
+
+
+def test_waiting_time_lands_in_lib_comp(machine2):
+    done = []
+
+    def on_go(ctx, packet):
+        done.append(True)
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("go", on_go)
+        if ctx.pid == 1:
+            yield from ctx.poll_wait(lambda: done)
+        else:
+            yield from ctx.compute(5000)
+            yield from ctx.am.send(1, "go")
+
+    result = machine2.run(program)
+    waiter = result.board.procs[1]
+    # Processor 1 idles ~5000 cycles; that time must appear as Lib Comp.
+    assert waiter.cycles[MpCat.LIB_COMPUTE] > 4000

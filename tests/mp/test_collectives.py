@@ -1,0 +1,185 @@
+"""Tests for software broadcast/reduction trees."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import MachineParams
+from repro.mp.collectives import binary_children, flat_children, lopsided_children
+from repro.mp.machine import MpMachine
+
+
+def spanning(children, nprocs):
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node, []):
+            assert child not in seen, "node informed twice"
+            seen.add(child)
+            frontier.append(child)
+    return seen
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 8, 32, 33])
+def test_flat_tree_spans(nprocs):
+    assert spanning(flat_children(nprocs), nprocs) == set(range(nprocs))
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 8, 32, 33])
+def test_binary_tree_spans(nprocs):
+    assert spanning(binary_children(nprocs), nprocs) == set(range(nprocs))
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 8, 32, 33])
+def test_lopsided_tree_spans(nprocs):
+    children = lopsided_children(nprocs, send_gap=45, hop_latency=200)
+    assert spanning(children, nprocs) == set(range(nprocs))
+
+
+def test_lopsided_root_has_more_children_than_binary():
+    """The lop-sided shape: early senders keep sending."""
+    children = lopsided_children(32, send_gap=45, hop_latency=200)
+    assert len(children[0]) > 2
+
+
+def test_lopsided_depth_beats_flat():
+    """Completion time: lop-sided beats flat for realistic parameters."""
+    def completion(children, gap, lat):
+        ready = {0: 0}
+        order = [0]
+        while order:
+            node = order.pop(0)
+            for i, child in enumerate(children.get(node, [])):
+                ready[child] = ready[node] + (i + 1) * gap + lat
+                order.append(child)
+        return max(ready.values())
+
+    gap, lat = 45, 200
+    lop = completion(lopsided_children(32, gap, lat), gap, lat)
+    flat = completion(flat_children(32), gap, lat)
+    binary = completion(binary_children(32), gap, lat)
+    assert lop < binary < flat
+
+
+@pytest.fixture
+def machine8():
+    return MpMachine(MachineParams.paper(num_processors=8), seed=3)
+
+
+def test_value_broadcast(machine8):
+    got = {}
+
+    def program(ctx):
+        value = 99.5 if ctx.pid == 3 else None
+        result = yield from ctx.coll.broadcast(value, root=3)
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    assert got == {pid: 99.5 for pid in range(8)}
+
+
+def test_reduce_max_with_index(machine8):
+    got = {}
+
+    def program(ctx):
+        local = (float(ctx.pid * 7 % 5), ctx.pid)  # (value, index)
+        result = yield from ctx.coll.reduce(local, max, root=0)
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    values = [(float(p * 7 % 5), p) for p in range(8)]
+    assert got[0] == max(values)
+    assert all(got[p] is None for p in range(1, 8))
+
+
+def test_allreduce_sum(machine8):
+    got = {}
+
+    def program(ctx):
+        result = yield from ctx.coll.allreduce(ctx.pid, lambda a, b: a + b)
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    assert set(got.values()) == {sum(range(8))}
+
+
+def test_successive_collectives_keep_rounds_separate(machine8):
+    got = {}
+
+    def program(ctx):
+        a = yield from ctx.coll.broadcast(
+            "first" if ctx.pid == 0 else None, root=0
+        )
+        b = yield from ctx.coll.broadcast(
+            "second" if ctx.pid == 1 else None, root=1
+        )
+        got[ctx.pid] = (a, b)
+
+    machine8.run(program)
+    assert set(got.values()) == {("first", "second")}
+
+
+def test_bulk_broadcast_moves_array(machine8):
+    got = {}
+
+    def program(ctx):
+        ctx.coll.setup_bulk(max_elems=32)
+        data = np.arange(20.0) if ctx.pid == 2 else None
+        values = yield from ctx.coll.bulk_broadcast(data, root=2)
+        got[ctx.pid] = np.array(values)
+
+    machine8.run(program)
+    for pid in range(8):
+        assert (got[pid] == np.arange(20.0)).all()
+
+
+def test_bulk_broadcast_varying_roots_and_sizes(machine8):
+    got = {}
+
+    def program(ctx):
+        ctx.coll.setup_bulk(max_elems=16)
+        collected = []
+        for root in (0, 5, 0, 3):
+            size = 4 + root
+            data = np.full(size, float(root)) if ctx.pid == root else None
+            values = yield from ctx.coll.bulk_broadcast(data, root=root)
+            collected.append(np.array(values))
+        got[ctx.pid] = collected
+
+    machine8.run(program)
+    for pid in range(8):
+        for i, root in enumerate((0, 5, 0, 3)):
+            assert got[pid][i].size == 4 + root
+            assert (got[pid][i] == root).all()
+
+
+def test_bulk_without_setup_raises(machine8):
+    def program(ctx):
+        yield from ctx.coll.bulk_broadcast(np.zeros(4), root=0)
+
+    with pytest.raises(Exception):
+        machine8.run(program)
+
+
+def test_strategy_affects_cost():
+    """A broadcast's latency: lop-sided < binary < flat (32 procs).
+
+    One broadcast per run: the lop-sided tree optimizes the latency of a
+    single operation (the paper's use case — each Gauss broadcast gates
+    dependent work). Back-to-back unsynchronized broadcasts would instead
+    measure pipelined throughput, where shallower fan-out wins.
+    """
+    def program(ctx):
+        value = 1.0 if ctx.pid == 0 else None
+        yield from ctx.coll.broadcast(value, root=0)
+
+    totals = {}
+    for strategy in ("flat", "lopsided", "binary"):
+        machine = MpMachine(
+            MachineParams.paper(num_processors=32),
+            seed=3,
+            collective_strategy=strategy,
+        )
+        result = machine.run(program)
+        totals[strategy] = result.elapsed_cycles
+    assert totals["lopsided"] < totals["binary"] < totals["flat"]

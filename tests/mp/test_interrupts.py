@@ -1,0 +1,126 @@
+"""Tests for interrupt-driven message delivery (the NI interrupt mask)."""
+
+import pytest
+
+from repro.stats.categories import MpCat
+
+
+def test_interrupt_handler_runs_without_polling(machine2):
+    """A masked tag's handler fires while the receiver only computes."""
+    received = []
+
+    def on_urgent(ctx, packet):
+        received.append((ctx.pid, ctx.engine.now, packet.payload))
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("urgent", on_urgent)
+        if ctx.pid == 1:
+            ctx.enable_interrupts("urgent")
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "urgent", 7)
+            yield from ctx.compute(10)
+        else:
+            # Long compute with NO poll calls at all.
+            yield from ctx.compute(100_000)
+
+    machine2.run(program)
+    assert received and received[0][0] == 1
+    assert received[0][2] == (7,)
+    # Serviced promptly, not at the end of the long compute.
+    assert received[0][1] < 10_000
+
+
+def test_unmasked_tags_still_polled(machine2):
+    received = []
+
+    def on_plain(ctx, packet):
+        received.append(ctx.engine.now)
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("plain", on_plain)
+        if ctx.pid == 1:
+            ctx.enable_interrupts("other-tag")  # mask does NOT cover "plain"
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "plain")
+        else:
+            yield from ctx.poll_wait(lambda: received)
+
+    machine2.run(program)
+    assert received
+
+
+def test_interrupt_dispatch_cost_charged(machine2):
+    def on_x(ctx, packet):
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("x", on_x)
+        if ctx.pid == 1:
+            ctx.enable_interrupts("x")
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            for _ in range(5):
+                yield from ctx.am.send(1, "x")
+        yield from ctx.compute(50_000)  # time for service to complete
+
+    result = machine2.run(program)
+    receiver = result.board.procs[1]
+    mp = machine2.params.mp
+    # At least 5 kernel-trap dispatches' worth of lib time.
+    assert receiver.cycles[MpCat.LIB_COMPUTE] >= 5 * mp.interrupt_dispatch_cycles
+    assert machine2.nodes[1].ni.interrupts_raised == 5
+
+
+def test_disable_interrupts_reverts_to_polling(machine2):
+    received = []
+
+    def on_t(ctx, packet):
+        received.append(True)
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("t", on_t)
+        if ctx.pid == 1:
+            ctx.enable_interrupts("t")
+            ctx.disable_interrupts("t")
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            yield from ctx.am.send(1, "t")
+        else:
+            yield from ctx.poll_wait(lambda: received)
+
+    machine2.run(program)
+    assert received
+    assert machine2.nodes[1].ni.interrupts_raised == 0
+
+
+def test_interrupt_wakes_poll_wait(machine2):
+    """A poll_wait predicate satisfied by an ISR handler resumes."""
+    state = {"flag": False}
+
+    def on_set(ctx, packet):
+        state["flag"] = True
+        return
+        yield
+
+    def program(ctx):
+        ctx.am.register("set", on_set)
+        if ctx.pid == 1:
+            ctx.enable_interrupts("set")
+        yield from ctx.barrier()
+        if ctx.pid == 0:
+            yield from ctx.compute(2_000)
+            yield from ctx.am.send(1, "set")
+        else:
+            yield from ctx.poll_wait(lambda: state["flag"])
+
+    machine2.run(program)  # must terminate (no deadlock)
+    assert state["flag"]

@@ -1,0 +1,46 @@
+"""Unit tests for the network-interface model."""
+
+import pytest
+
+from repro.mp.netiface import NetworkInterface, Packet
+
+
+def test_packet_defaults_and_repr():
+    p = Packet(src=0, dest=1, tag="h", payload=(1, 2))
+    assert p.count == 1
+    assert "0->1" in repr(p)
+
+
+def test_train_requires_positive_count():
+    with pytest.raises(ValueError):
+        Packet(0, 1, "h", None, count=0)
+
+
+def test_fifo_order():
+    ni = NetworkInterface(0)
+    a = Packet(1, 0, "a", None)
+    b = Packet(2, 0, "b", None)
+    ni.enqueue(a)
+    ni.enqueue(b)
+    assert ni.status() is True
+    assert ni.dequeue() is a
+    assert ni.dequeue() is b
+    assert ni.dequeue() is None
+    assert ni.status() is False
+
+
+def test_pending_counts_train_packets():
+    ni = NetworkInterface(0)
+    ni.enqueue(Packet(1, 0, "d", None, count=5))
+    assert ni.pending() == 5
+    assert ni.packets_enqueued == 5
+    ni.dequeue()
+    assert ni.packets_dequeued == 5
+
+
+def test_arrival_gate_pulses():
+    ni = NetworkInterface(0)
+    woke = []
+    ni.arrival_gate.park(lambda: woke.append(True))
+    ni.enqueue(Packet(1, 0, "x", None))
+    assert woke == [True]

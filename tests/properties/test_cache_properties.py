@@ -1,0 +1,108 @@
+"""Property-based tests for the cache model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import Cache, LineState
+
+BLOCK = 32
+
+
+def aligned_addresses(max_blocks=512):
+    return st.integers(min_value=0, max_value=max_blocks - 1).map(
+        lambda i: i * BLOCK
+    )
+
+
+@st.composite
+def cache_and_ops(draw):
+    sets = draw(st.sampled_from([1, 2, 4, 8]))
+    assoc = draw(st.sampled_from([1, 2, 4]))
+    cache = Cache(sets * assoc * BLOCK, assoc, BLOCK,
+                  np.random.default_rng(draw(st.integers(0, 2**16))))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert_s", "insert_x", "invalidate", "lookup"]),
+                aligned_addresses(),
+            ),
+            max_size=200,
+        )
+    )
+    return cache, ops
+
+
+def apply(cache, op, addr):
+    if op == "insert_s":
+        cache.insert(addr, LineState.SHARED)
+    elif op == "insert_x":
+        cache.insert(addr, LineState.EXCLUSIVE)
+    elif op == "invalidate":
+        cache.invalidate(addr)
+    else:
+        cache.lookup(addr)
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(args):
+    cache, ops = args
+    capacity = cache.num_sets * cache.assoc
+    for op, addr in ops:
+        apply(cache, op, addr)
+        assert cache.resident_blocks() <= capacity
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_set_occupancy_never_exceeds_associativity(args):
+    cache, ops = args
+    for op, addr in ops:
+        apply(cache, op, addr)
+    for line_set in cache._sets:
+        assert len(line_set) <= cache.assoc
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_insert_then_peek_round_trips(args):
+    cache, ops = args
+    for op, addr in ops:
+        apply(cache, op, addr)
+        if op == "insert_s":
+            assert cache.peek(addr) is LineState.SHARED
+        elif op == "insert_x":
+            assert cache.peek(addr) is LineState.EXCLUSIVE
+        elif op == "invalidate":
+            assert cache.peek(addr) is LineState.INVALID
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_hits_plus_misses_equals_lookups(args):
+    cache, ops = args
+    lookups = 0
+    for op, addr in ops:
+        apply(cache, op, addr)
+        if op == "lookup":
+            lookups += 1
+    assert cache.hits + cache.misses == lookups
+
+
+@given(cache_and_ops())
+@settings(max_examples=40, deadline=None)
+def test_eviction_callback_matches_return_value(args):
+    cache, ops = args
+    callback_evictions = []
+    cache.on_evict = lambda addr, state: callback_evictions.append(addr)
+    returned_evictions = []
+    for op, addr in ops:
+        if op in ("insert_s", "insert_x"):
+            state = LineState.SHARED if op == "insert_s" else LineState.EXCLUSIVE
+            victim = cache.insert(addr, state)
+            if victim is not None:
+                returned_evictions.append(victim[0])
+        else:
+            apply(cache, op, addr)
+    assert callback_evictions == returned_evictions

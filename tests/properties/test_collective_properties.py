@@ -1,0 +1,90 @@
+"""Property-based tests for collective trees and data-space layout."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.dataspace import DataSpace, HomePolicy
+from repro.mp.collectives import binary_children, flat_children, lopsided_children
+
+
+def spans_everyone(children, nprocs):
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node, []):
+            if child in seen:
+                return False
+            seen.add(child)
+            frontier.append(child)
+    return seen == set(range(nprocs))
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_flat_tree_always_spans(nprocs):
+    assert spans_everyone(flat_children(nprocs), nprocs)
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_binary_tree_always_spans(nprocs):
+    assert spans_everyone(binary_children(nprocs), nprocs)
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=150, deadline=None)
+def test_lopsided_tree_always_spans(nprocs, gap, latency):
+    assert spans_everyone(lopsided_children(nprocs, gap, latency), nprocs)
+
+
+@given(st.integers(min_value=2, max_value=128))
+@settings(max_examples=80, deadline=None)
+def test_lopsided_degenerates_sensibly(nprocs):
+    """With latency == gap, every informed node keeps sending: the tree
+    still spans and the root sends at least as many as anyone."""
+    children = lopsided_children(nprocs, 10, 10)
+    assert spans_everyone(children, nprocs)
+    root_kids = len(children.get(0, []))
+    assert root_kids == max(len(c) for c in children.values())
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_regions_never_overlap(nodes, sizes):
+    space = DataSpace(num_nodes=nodes, block_bytes=32)
+    regions = []
+    for i, size in enumerate(sizes):
+        owner = i % nodes
+        if i % 2:
+            regions.append(space.alloc_private(f"p{i}", owner, size))
+        else:
+            regions.append(
+                space.alloc_shared(f"s{i}", owner, size, policy=HomePolicy.ROUND_ROBIN)
+            )
+    intervals = sorted((r.base, r.end) for r in regions)
+    for (lo1, hi1), (lo2, _hi2) in zip(intervals, intervals[1:]):
+        assert hi1 <= lo2
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=256),
+)
+@settings(max_examples=100, deadline=None)
+def test_round_robin_homes_are_balanced(nodes, elems):
+    space = DataSpace(num_nodes=nodes, block_bytes=32)
+    region = space.alloc_shared("g", 0, elems, dtype=np.float64)
+    homes = [
+        region.home_of_block(region.base + i * 32)
+        for i in range((region.nbytes + 31) // 32)
+    ]
+    counts = {h: homes.count(h) for h in set(homes)}
+    assert max(counts.values()) - min(counts.values()) <= 1
+    assert all(0 <= h < nodes for h in homes)

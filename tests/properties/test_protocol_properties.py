@@ -1,0 +1,133 @@
+"""Property-based tests of Dir_nNB coherence invariants.
+
+Random programs of reads/writes from random processors must always
+leave the machine in a protocol-consistent state: a block is either
+dirty in exactly one cache (and the directory knows the owner) or
+read-only in any number of caches, never both.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import LineState
+from repro.arch.params import MachineParams
+from repro.memory.dataspace import HomePolicy
+from repro.sm.machine import SmMachine
+from repro.sm.protocol import DirState
+
+PROCS = 3
+ELEMS = 16  # 4 blocks
+
+
+@st.composite
+def access_scripts(draw):
+    """Per-processor scripts of (op, element-index) steps."""
+    return [
+        draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["read", "write"]),
+                    st.integers(min_value=0, max_value=ELEMS - 1),
+                ),
+                max_size=25,
+            )
+        )
+        for _ in range(PROCS)
+    ]
+
+
+def run_script(scripts, policy, cache_bytes=None, seed=0):
+    params = MachineParams.paper(num_processors=PROCS)
+    if cache_bytes:
+        params = params.with_cache_bytes(cache_bytes)
+    machine = SmMachine(params, seed=seed)
+
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", ELEMS, policy=policy)
+        yield from ctx.barrier()
+        region = ctx.machine.regions[0]
+        for op, index in scripts[ctx.pid]:
+            if op == "read":
+                yield from ctx.read(region, index, index + 1)
+            else:
+                yield from ctx.write(region, index, values=[float(index)])
+
+    machine.run(program)
+    return machine
+
+
+def assert_coherent(machine):
+    region = machine.regions[0]
+    block0 = region.base
+    for offset in range(0, region.nbytes, 32):
+        block = block0 + offset
+        home = region.home_of_block(block)
+        entry = machine.directories[home].entries.get(block)
+        holders = {
+            pid: machine.nodes[pid].cache.peek(block)
+            for pid in range(PROCS)
+        }
+        dirty = [p for p, s in holders.items() if s is LineState.EXCLUSIVE]
+        shared = [p for p, s in holders.items() if s is LineState.SHARED]
+        # Single-writer invariant.
+        assert len(dirty) <= 1, f"two dirty copies of {block:#x}: {dirty}"
+        assert not (dirty and shared), (
+            f"dirty and shared copies coexist for {block:#x}"
+        )
+        if entry is None:
+            assert not dirty and not shared
+            continue
+        assert not entry.busy, f"transaction left busy at {block:#x}"
+        if dirty:
+            assert entry.state is DirState.EXCLUSIVE
+            assert entry.owner == dirty[0]
+        if entry.state is DirState.EXCLUSIVE:
+            # The owner either still holds the line or silently... no:
+            # dirty evictions synchronously downgrade, so the owner must
+            # hold it.
+            assert holders[entry.owner] is LineState.EXCLUSIVE
+        if entry.state is DirState.SHARED:
+            # Full-map may conservatively list stale sharers (silent
+            # clean evictions), but every true copy must be listed.
+            for pid in shared:
+                assert pid in entry.sharers
+
+
+@given(access_scripts(), st.sampled_from([HomePolicy.ROUND_ROBIN, HomePolicy.LOCAL]))
+@settings(max_examples=40, deadline=None)
+def test_protocol_state_is_coherent(scripts, policy):
+    machine = run_script(scripts, policy)
+    assert_coherent(machine)
+
+
+@given(access_scripts())
+@settings(max_examples=25, deadline=None)
+def test_protocol_coherent_under_capacity_pressure(scripts):
+    """A tiny cache forces evictions and writebacks mid-protocol."""
+    machine = run_script(scripts, HomePolicy.ROUND_ROBIN, cache_bytes=128)
+    assert_coherent(machine)
+
+
+@given(access_scripts())
+@settings(max_examples=25, deadline=None)
+def test_last_writer_value_is_visible(scripts):
+    machine = run_script(scripts, HomePolicy.ROUND_ROBIN)
+    region = machine.regions[0]
+    # Every element that anyone wrote holds its (deterministic) value.
+    written = {i for script in scripts for op, i in script if op == "write"}
+    for index in written:
+        assert region.np[index] == float(index)
+
+
+@given(access_scripts())
+@settings(max_examples=15, deadline=None)
+def test_runs_are_deterministic(scripts):
+    m1 = run_script(scripts, HomePolicy.ROUND_ROBIN, seed=42)
+    m2 = run_script(scripts, HomePolicy.ROUND_ROBIN, seed=42)
+    for pid in range(PROCS):
+        s1 = m1.nodes[pid].stats
+        s2 = m2.nodes[pid].stats
+        assert dict(s1.cycles) == dict(s2.cycles)
+        assert dict(s1.counts) == dict(s2.counts)

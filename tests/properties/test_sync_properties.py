@@ -1,0 +1,125 @@
+"""Property-based tests for MCS locks, reductions, and CMMD transfers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import MachineParams
+from repro.memory.dataspace import HomePolicy
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+PROCS = 4
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),  # acquisitions per proc
+            st.integers(min_value=0, max_value=300),  # critical-section work
+            st.integers(min_value=0, max_value=300),  # think time
+        ),
+        min_size=PROCS,
+        max_size=PROCS,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_mcs_lock_counter_never_loses_updates(plans):
+    machine = SmMachine(MachineParams.paper(num_processors=PROCS), seed=13)
+    lock = machine.make_lock("l")
+    counter = machine.contexts[0].gmalloc("counter", 4, policy=HomePolicy.LOCAL)
+
+    def program(ctx):
+        rounds, work, think = plans[ctx.pid]
+        for _ in range(rounds):
+            yield from ctx.compute(think)
+            yield from lock.acquire(ctx)
+            values = yield from ctx.read(counter, 0, 1)
+            yield from ctx.compute(work)
+            yield from ctx.write(counter, 0, values=[float(values[0]) + 1.0])
+            yield from lock.release(ctx)
+
+    machine.run(program)
+    expected = sum(rounds for rounds, _w, _t in plans)
+    assert counter.np[0] == float(expected)
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100,
+                       allow_nan=False, allow_infinity=False),
+             min_size=PROCS, max_size=PROCS),
+    st.sampled_from(["max", "sum"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_reduction_computes_correct_result(values, op_name):
+    machine = SmMachine(MachineParams.paper(num_processors=PROCS), seed=13)
+    reduction = machine.make_reduction("r")
+    got = {}
+
+    def op(a, b):
+        if op_name == "max":
+            return max(a, b)
+        return (a[0] + b[0], 0.0)
+
+    def program(ctx):
+        result = yield from reduction.allreduce(ctx, values[ctx.pid], op)
+        got[ctx.pid] = result[0]
+
+    machine.run(program)
+    expected = max(values) if op_name == "max" else sum(values)
+    for pid in range(PROCS):
+        assert abs(got[pid] - expected) < 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=40),  # transfer elements
+            st.integers(min_value=0, max_value=8),  # window offset
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_cmmd_transfers_deliver_exact_bytes(transfers):
+    machine = MpMachine(MachineParams.paper(num_processors=2), seed=13)
+    window = 64
+    received = []
+
+    def program(ctx):
+        buffer = ctx.alloc("buf", window, fill=-1.0)
+        if ctx.pid == 1:
+            channel = yield from ctx.cmmd.offer_channel(0, buffer, key="t")
+            for size, offset in transfers:
+                yield from ctx.cmmd.wait_channel(channel, size * 8)
+                received.append(buffer.np[offset:offset + size].copy())
+        else:
+            channel = yield from ctx.cmmd.accept_channel(1, key="t")
+            for i, (size, offset) in enumerate(transfers):
+                payload = np.full(size, float(i))
+                yield from ctx.cmmd.write_channel(channel, payload, el_offset=offset)
+
+    machine.run(program)
+    assert len(received) == len(transfers)
+    for i, ((size, _offset), data) in enumerate(zip(transfers, received)):
+        assert data.size == size
+        assert (data == float(i)).all()
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=0, max_value=7))
+@settings(max_examples=30, deadline=None)
+def test_value_broadcast_from_any_root(nprocs, root_choice):
+    root = root_choice % nprocs
+    machine = MpMachine(MachineParams.paper(num_processors=nprocs), seed=13)
+    got = {}
+
+    def program(ctx):
+        value = 3.25 if ctx.pid == root else None
+        result = yield from ctx.coll.broadcast(value, root=root)
+        got[ctx.pid] = result
+
+    machine.run(program)
+    assert set(got.values()) == {3.25}
+    assert len(got) == nprocs

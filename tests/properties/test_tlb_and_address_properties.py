@@ -1,0 +1,74 @@
+"""Property-based tests for the TLB and address arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address import AddressRange, align_up, block_span
+from repro.arch.tlb import Tlb
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 30),
+    st.integers(min_value=1, max_value=4096),
+    st.sampled_from([16, 32, 64, 128]),
+)
+@settings(max_examples=200, deadline=None)
+def test_block_span_covers_exactly_the_range(start, length, block):
+    blocks = list(block_span(start, length, block))
+    # Every byte of the range is covered by some block.
+    assert blocks[0] <= start
+    assert blocks[-1] + block >= start + length
+    # Blocks are aligned, consecutive, and non-redundant.
+    for addr in blocks:
+        assert addr % block == 0
+    for a, b in zip(blocks, blocks[1:]):
+        assert b == a + block
+    # Tight: first and last blocks intersect the range.
+    assert blocks[0] + block > start
+    assert blocks[-1] < start + length
+
+
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.sampled_from([1, 8, 32, 4096]))
+def test_align_up_properties(value, alignment):
+    aligned = align_up(value, alignment)
+    assert aligned % alignment == 0
+    assert 0 <= aligned - value < alignment
+
+
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.integers(min_value=0, max_value=1 << 12))
+def test_address_range_end(start, length):
+    assert AddressRange(start, length).end == start + length
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_tlb_never_exceeds_capacity(pages, entries):
+    tlb = Tlb(entries=entries, page_bytes=4096)
+    for page in pages:
+        tlb.access(page * 4096)
+    resident = sum(tlb.contains(p * 4096) for p in set(pages))
+    assert resident <= entries
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_tlb_hits_plus_misses_equals_accesses(pages):
+    tlb = Tlb(entries=8, page_bytes=4096)
+    for page in pages:
+        tlb.access(page * 4096)
+    assert tlb.hits + tlb.misses == len(pages)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_tlb_small_working_set_always_fits(pages):
+    """With <= entries distinct pages, each page misses exactly once."""
+    tlb = Tlb(entries=64, page_bytes=4096)
+    for page in pages:
+        tlb.access(page * 4096)
+    assert tlb.misses == len(set(pages))

@@ -1,0 +1,102 @@
+"""Property-based tests of traffic accounting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+from repro.memory.dataspace import HomePolicy
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=6)
+)
+@settings(max_examples=25, deadline=None)
+def test_mp_bytes_conserve_packet_size(sizes):
+    """For any transfer mix: data + control == 20 bytes x packets sent.
+
+    Every packet on the wire is exactly 20 bytes; the data/control
+    split partitions them, never invents or loses bytes.
+    """
+    machine = MpMachine(MachineParams.paper(num_processors=2), seed=17)
+
+    def program(ctx):
+        buffer = ctx.alloc("buf", max(sizes))
+        if ctx.pid == 1:
+            channel = yield from ctx.cmmd.offer_channel(0, buffer, key="t")
+            for size in sizes:
+                yield from ctx.cmmd.wait_channel(channel, size * 8)
+        else:
+            channel = yield from ctx.cmmd.accept_channel(1, key="t")
+            for i, size in enumerate(sizes):
+                yield from ctx.cmmd.write_channel(
+                    channel, np.full(size, float(i))
+                )
+
+    result = machine.run(program)
+    board = result.board
+    packets = board.total_count("messages_sent")
+    data = board.total_count("data_bytes")
+    control = board.total_count("control_bytes")
+    assert data + control == 20 * packets
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["read", "write"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=30,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_sm_data_bytes_are_whole_blocks(ops):
+    """Shared-memory data bytes arrive only as whole 32-byte blocks."""
+    machine = SmMachine(MachineParams.paper(num_processors=2), seed=17)
+
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 16, policy=HomePolicy.ROUND_ROBIN)
+        yield from ctx.barrier()
+        region = ctx.machine.regions[0]
+        if ctx.pid == 1:
+            for op, index in ops:
+                if op == "read":
+                    yield from ctx.read(region, index, index + 1)
+                else:
+                    yield from ctx.write(region, index, values=[1.0])
+
+    result = machine.run(program)
+    for proc in result.board.procs:
+        assert proc.counts.get("data_bytes", 0) % 32 == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["read", "write"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=30,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_sm_control_bytes_are_message_multiples(ops):
+    """Control bytes decompose into 8-byte headers and 40-byte messages."""
+    machine = SmMachine(MachineParams.paper(num_processors=2), seed=17)
+
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 16, policy=HomePolicy.ROUND_ROBIN)
+        yield from ctx.barrier()
+        region = ctx.machine.regions[0]
+        for op, index in ops:
+            if op == "read":
+                yield from ctx.read(region, index, index + 1)
+            else:
+                yield from ctx.write(region, index, values=[1.0])
+        yield from ctx.barrier()
+
+    result = machine.run(program)
+    for proc in result.board.procs:
+        control = proc.counts.get("control_bytes", 0)
+        assert control % 8 == 0  # 40- and 8-byte pieces only

@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_actions_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    engine = Engine()
+    order = []
+    for name in "abcde":
+        engine.schedule(5, lambda n=name: order.append(n))
+    engine.run()
+    assert order == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 42
+
+
+def test_zero_delay_runs_at_current_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(7, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [7]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(15, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [15]
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_cancellation_skips_action():
+    engine = Engine()
+    seen = []
+    handle = engine.schedule(5, lambda: seen.append("no"))
+    handle.cancel()
+    engine.schedule(6, lambda: seen.append("yes"))
+    engine.run()
+    assert seen == ["yes"]
+
+
+def test_run_until_pauses_and_resumes():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append(10))
+    engine.schedule(20, lambda: seen.append(20))
+    engine.run(until=15)
+    assert seen == [10]
+    assert engine.now == 15
+    engine.run()
+    assert seen == [10, 20]
+
+
+def test_run_returns_event_count():
+    engine = Engine()
+    for _ in range(4):
+        engine.schedule(1, lambda: None)
+    assert engine.run() == 4
+
+
+def test_max_events_guard():
+    engine = Engine()
+
+    def rearm():
+        engine.schedule(1, rearm)
+
+    engine.schedule(1, rearm)
+    executed = engine.run(max_events=50)
+    assert executed == 50
+
+
+def test_stop_request():
+    engine = Engine()
+    seen = []
+    engine.schedule(1, lambda: (seen.append(1), engine.stop()))
+    engine.schedule(2, lambda: seen.append(2))
+    engine.run()
+    assert seen == [1]
+
+
+def test_pending_counts_live_actions():
+    engine = Engine()
+    h1 = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    assert engine.pending() == 2
+    h1.cancel()
+    assert engine.pending() == 1

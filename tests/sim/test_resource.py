@@ -1,0 +1,90 @@
+"""Unit tests for the FIFO resource (directory-contention model)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+from repro.sim.process import Process, Wait
+from repro.sim.resource import FifoResource
+
+
+def test_single_request_serves_after_service_time():
+    engine = Engine()
+    resource = FifoResource(engine)
+    done_times = []
+    event = resource.request(10)
+    event.add_callback(lambda _q: done_times.append(engine.now))
+    engine.run()
+    assert done_times == [10]
+
+
+def test_fifo_queueing_serializes():
+    engine = Engine()
+    resource = FifoResource(engine)
+    finish = {}
+    for name, service in (("a", 10), ("b", 5), ("c", 1)):
+        resource.request(service).add_callback(
+            lambda _q, n=name: finish.setdefault(n, engine.now)
+        )
+    engine.run()
+    # a: 0-10, b: 10-15, c: 15-16 — strict FIFO regardless of service time.
+    assert finish == {"a": 10, "b": 15, "c": 16}
+
+
+def test_queue_delay_reported_to_caller():
+    engine = Engine()
+    resource = FifoResource(engine)
+    delays = []
+    resource.request(10).add_callback(delays.append)
+    resource.request(10).add_callback(delays.append)
+    engine.run()
+    assert delays == [0, 10]
+    assert resource.mean_queue_delay() == 5.0
+
+
+def test_later_arrivals_queue_behind_in_service():
+    engine = Engine()
+    resource = FifoResource(engine)
+    finish = []
+    resource.request(20).add_callback(lambda _q: finish.append(("first", engine.now)))
+    engine.schedule(
+        5,
+        lambda: resource.request(3).add_callback(
+            lambda _q: finish.append(("second", engine.now))
+        ),
+    )
+    engine.run()
+    assert finish == [("first", 20), ("second", 23)]
+
+
+def test_resource_usable_from_process():
+    engine = Engine()
+    resource = FifoResource(engine)
+    log = []
+
+    def body(tag, service):
+        queue_delay = yield Wait(resource.request(service))
+        log.append((tag, engine.now, queue_delay))
+
+    Process(engine, body("p0", 8))
+    Process(engine, body("p1", 8))
+    engine.run()
+    assert log == [("p0", 8, 0), ("p1", 16, 8)]
+
+
+def test_negative_service_rejected():
+    engine = Engine()
+    resource = FifoResource(engine)
+    with pytest.raises(ValueError):
+        resource.request(-1)
+
+
+def test_instrumentation_totals():
+    engine = Engine()
+    resource = FifoResource(engine)
+    for _ in range(4):
+        resource.request(5)
+    engine.run()
+    assert resource.requests_served == 4
+    assert resource.total_service_cycles == 20
+    assert resource.total_queue_cycles == 0 + 5 + 10 + 15

@@ -1,0 +1,21 @@
+"""Shared fixtures for shared-memory machine tests."""
+
+import pytest
+
+from repro.arch.params import MachineParams
+from repro.sm.machine import SmMachine
+
+
+@pytest.fixture
+def machine2():
+    return SmMachine(MachineParams.paper(num_processors=2), seed=11)
+
+
+@pytest.fixture
+def machine4():
+    return SmMachine(MachineParams.paper(num_processors=4), seed=11)
+
+
+@pytest.fixture
+def machine8():
+    return SmMachine(MachineParams.paper(num_processors=8), seed=11)

@@ -1,0 +1,170 @@
+"""Tests for MCS locks and combining reductions on the SM machine."""
+
+import numpy as np
+
+from repro.memory.dataspace import HomePolicy
+from repro.stats.categories import SmCat
+
+
+def test_lock_mutual_exclusion(machine4):
+    """A lock-protected counter increments without lost updates."""
+    lock = machine4.make_lock("l")
+    counter = machine4.contexts[0].gmalloc("counter", 4, policy=HomePolicy.LOCAL)
+    trace = []
+
+    def program(ctx):
+        for _ in range(3):
+            yield from lock.acquire(ctx)
+            values = yield from ctx.read(counter, 0, 1)
+            old = float(values[0])
+            trace.append(("in", ctx.pid, ctx.engine.now))
+            yield from ctx.compute(50)
+            yield from ctx.write(counter, 0, values=[old + 1.0])
+            trace.append(("out", ctx.pid, ctx.engine.now))
+            yield from lock.release(ctx)
+
+    machine4.run(program)
+    assert counter.np[0] == 12.0  # 4 procs x 3 increments
+
+
+def test_critical_sections_do_not_overlap(machine4):
+    lock = machine4.make_lock("l")
+    intervals = []
+
+    def program(ctx):
+        for _ in range(2):
+            yield from lock.acquire(ctx)
+            start = ctx.engine.now
+            yield from ctx.compute(100)
+            intervals.append((start, ctx.engine.now))
+            yield from lock.release(ctx)
+
+    machine4.run(program)
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1, f"critical sections overlap: {(s1, e1)} vs {(s2, _e2)}"
+
+
+def test_lock_time_lands_in_lock_category(machine4):
+    lock = machine4.make_lock("l")
+
+    def program(ctx):
+        yield from lock.acquire(ctx)
+        yield from ctx.compute(500)  # plain compute inside the section
+        yield from lock.release(ctx)
+
+    result = machine4.run(program)
+    board = result.board
+    assert board.mean_cycles(SmCat.LOCK) > 0
+    # The critical-section body itself is still Computation.
+    assert board.mean_cycles(SmCat.COMPUTE) == 500
+    assert result.board.total_count("lock_acquires") == 4
+
+
+def test_contended_lock_spins_locally(machine8):
+    """Waiters spin on their own cache block: traffic stays bounded.
+
+    Each handoff should cost a handful of protocol messages, not
+    continuous polling traffic proportional to waiting time.
+    """
+    lock = machine8.make_lock("l")
+
+    def program(ctx):
+        yield from lock.acquire(ctx)
+        yield from ctx.compute(2000)  # long section => long waits
+        yield from lock.release(ctx)
+
+    result = machine8.run(program)
+    # Total misses across procs: a handful per acquire/release, not
+    # thousands from spinning.
+    total_lock_misses = sum(
+        p.counts.get("shared_misses_remote", 0)
+        + p.counts.get("shared_misses_local", 0)
+        + p.counts.get("write_faults", 0)
+        for p in result.board.procs
+    )
+    assert total_lock_misses < 25 * 8
+
+
+def add_pairs(a, b):
+    return (a[0] + b[0], 0.0)
+
+
+def test_reduction_sum(machine8):
+    reduction = machine8.make_reduction("r")
+    got = {}
+
+    def program(ctx):
+        result = yield from reduction.reduce(ctx, float(ctx.pid), add_pairs)
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    assert got[0] == (sum(range(8)), 0.0)
+    assert all(got[p] is None for p in range(1, 8))
+
+
+def test_allreduce_max_everywhere(machine8):
+    reduction = machine8.make_reduction("r")
+    got = {}
+
+    def program(ctx):
+        value = float((ctx.pid * 13) % 7)
+        result = yield from reduction.allreduce(ctx, value, max, aux=float(ctx.pid))
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    expected = max((float((p * 13) % 7), float(p)) for p in range(8))
+    assert set(got.values()) == {expected}
+
+
+def test_argmax_reduction_carries_index(machine8):
+    """The Gauss pivot pattern: max value plus the owning row index."""
+    reduction = machine8.make_reduction("pivot")
+    got = {}
+
+    def program(ctx):
+        value = float(10 - ctx.pid) if ctx.pid == 5 else float(ctx.pid)
+        result = yield from reduction.allreduce(ctx, value, max, aux=ctx.pid * 100)
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    assert set(got.values()) == {(7.0, 700.0)}
+
+
+def test_successive_allreduces(machine8):
+    reduction = machine8.make_reduction("r")
+    got = {}
+
+    def program(ctx):
+        results = []
+        for round_ in range(4):
+            value = float(ctx.pid + round_ * 100)
+            result = yield from reduction.allreduce(ctx, value, max)
+            results.append(result[0])
+        got[ctx.pid] = results
+
+    machine8.run(program)
+    expected = [7.0, 107.0, 207.0, 307.0]
+    for pid in range(8):
+        assert got[pid] == expected
+
+
+def test_reduction_charges_reduction_category(machine8):
+    reduction = machine8.make_reduction("r")
+
+    def program(ctx):
+        yield from reduction.allreduce(ctx, 1.0, add_pairs)
+
+    result = machine8.run(program)
+    assert result.board.mean_cycles(SmCat.REDUCTION) > 0
+
+
+def test_custom_context_reduction(machine4):
+    reduction = machine4.make_reduction("conv", context="sync")
+
+    def program(ctx):
+        yield from reduction.allreduce(ctx, 1.0, add_pairs)
+
+    result = machine4.run(program)
+    assert result.board.mean_cycles(SmCat.SYNC_COMPUTE) > 0
+    assert result.board.mean_cycles(SmCat.REDUCTION) == 0

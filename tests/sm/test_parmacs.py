@@ -1,0 +1,73 @@
+"""Tests for the parmacs macro facade."""
+
+import numpy as np
+import pytest
+
+from repro.sm.parmacs import Parmacs
+
+
+def test_g_malloc_allocates_shared(machine2):
+    def program(ctx):
+        macros = Parmacs(ctx)
+        if ctx.pid == 0:
+            region = macros.G_MALLOC("vec", 8, fill=2.0)
+            assert region.segment.value == "shared"
+            assert (region.np == 2.0).all()
+        yield from macros.BARRIER()
+
+    machine2.run(program)
+
+
+def test_create_wait_create_pattern(machine4):
+    order = []
+
+    def program(ctx):
+        macros = Parmacs(ctx)
+        if ctx.pid == 0:
+            yield from ctx.compute(500)
+            order.append(("created", ctx.engine.now))
+            macros.CREATE()
+        else:
+            yield from macros.WAIT_CREATE()
+            order.append(("started", ctx.pid, ctx.engine.now))
+
+    machine4.run(program)
+    created_at = order[0][1]
+    for entry in order[1:]:
+        assert entry[2] >= created_at
+
+
+def test_create_from_nonzero_processor_rejected(machine2):
+    def program(ctx):
+        macros = Parmacs(ctx)
+        if ctx.pid == 1:
+            macros.CREATE()
+        yield from ctx.compute(1)
+
+    with pytest.raises(Exception):
+        machine2.run(program)
+
+
+def test_lock_unlock_by_name(machine4):
+    machine4.make_lock("guard")
+    counter = machine4.contexts[0].gmalloc("counter", 4)
+
+    def program(ctx):
+        macros = Parmacs(ctx)
+        yield from macros.LOCK("guard")
+        values = yield from ctx.read(counter, 0, 1)
+        yield from ctx.compute(20)
+        yield from ctx.write(counter, 0, values=[float(values[0]) + 1.0])
+        yield from macros.UNLOCK("guard")
+
+    machine4.run(program)
+    assert counter.np[0] == 4.0
+
+
+def test_lock_by_unknown_name_rejected(machine2):
+    def program(ctx):
+        macros = Parmacs(ctx)
+        yield from macros.LOCK("never-created")
+
+    with pytest.raises(Exception):
+        machine2.run(program)

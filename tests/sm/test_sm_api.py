@@ -1,0 +1,225 @@
+"""Tests of the SmContext surface: private/shared accesses and costs."""
+
+import numpy as np
+
+from repro.memory.dataspace import HomePolicy
+from repro.stats.categories import SmCat
+
+
+def test_private_miss_costs(machine2):
+    def program(ctx):
+        buf = ctx.alloc_private("buf", 8)  # 2 blocks
+        yield from ctx.read(buf)
+        yield from ctx.read(buf)  # warm
+
+    result = machine2.run(program)
+    board = result.board
+    assert board.mean_count("private_misses") == 2
+    common = machine2.params.common
+    assert board.mean_cycles(SmCat.PRIVATE_MISS) == 2 * common.local_miss_total_cycles
+    assert board.mean_cycles(SmCat.TLB_MISS) == common.tlb_miss_cycles
+
+
+def test_shared_read_local_home(machine2):
+    """A miss to a shared block homed locally uses self-messages (10 cy)."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            yield from ctx.read(region)
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    p0 = result.board.procs[0]
+    assert p0.counts["shared_misses_local"] == 1
+    assert p0.counts.get("shared_misses_remote", 0) == 0
+    # 19 + 10 (self msg) + directory 33 + 10 (self msg) ~ 72 cycles.
+    assert 50 <= p0.cycles[SmCat.SHARED_MISS] <= 120
+
+
+def test_shared_read_remote_home_idle_cost(machine2):
+    """Remote miss to idle data: ~250 cycles (paper Section 5.2)."""
+
+    def program(ctx):
+        region = ctx.machine.contexts[0].gmalloc("g", 4, policy=HomePolicy.LOCAL) \
+            if ctx.pid == 0 else None
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            region = ctx.machine.regions[0]
+            yield from ctx.read(region)
+
+    result = machine2.run(program)
+    p1 = result.board.procs[1]
+    assert p1.counts["shared_misses_remote"] == 1
+    assert 220 <= p1.cycles[SmCat.SHARED_MISS] <= 280
+
+
+def test_round_robin_placement_spreads_homes(machine4):
+    """With round-robin gmalloc most of a node's own blocks are remote."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 64)  # 16 blocks over 4 nodes
+            yield from ctx.read(region)
+        else:
+            yield from ctx.compute(1)
+
+    result = machine4.run(program)
+    p0 = result.board.procs[0]
+    assert p0.counts["shared_misses_local"] == 4
+    assert p0.counts["shared_misses_remote"] == 12
+
+
+def test_write_fault_upgrade(machine2):
+    """Read-then-write: the write to a SHARED line is a write fault."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            yield from ctx.read(region)
+            yield from ctx.write(region, 0, values=[1.0])
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    p0 = result.board.procs[0]
+    assert p0.counts["write_faults"] == 1
+    assert p0.cycles[SmCat.WRITE_FAULT] > 0
+    # Second write to the now-EXCLUSIVE line is free.
+    assert p0.counts["write_faults"] == 1
+
+
+def test_producer_consumer_invalidation_pattern(machine2):
+    """The paper's EM3D point: each update costs a 4-message exchange.
+
+    Producer writes, consumer reads, repeatedly: every round the
+    consumer misses (its copy was invalidated) and the producer write
+    faults (the consumer's read downgraded its line).
+    """
+
+    rounds = 5
+
+    def program(ctx):
+        region = (
+            ctx.gmalloc("v", 4, policy=HomePolicy.LOCAL)
+            if ctx.pid == 0
+            else None
+        )
+        yield from ctx.barrier()
+        region = ctx.machine.regions[0]
+        for r in range(rounds):
+            if ctx.pid == 0:
+                yield from ctx.write(region, 0, values=[float(r)])
+            yield from ctx.barrier()
+            if ctx.pid == 1:
+                values = yield from ctx.read(region, 0, 1)
+                assert values[0] == float(r)
+            yield from ctx.barrier()
+
+    result = machine2.run(program)
+    p0, p1 = result.board.procs
+    # Consumer misses every round after the first invalidation.
+    assert p1.counts["shared_misses_remote"] >= rounds - 1
+    # Producer: first write is a miss/upgrade, later writes fault.
+    assert p0.counts["write_faults"] >= rounds - 2
+    assert p1.counts["invalidations_received"] >= rounds - 2
+
+
+def test_traffic_counting_remote_miss(machine2):
+    """A remote miss transmits request (40 control) + reply (32+8)."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            yield from ctx.read(ctx.machine.regions[0])
+
+    result = machine2.run(program)
+    p1 = result.board.procs[1]
+    assert p1.counts["data_bytes"] == 32
+    assert p1.counts["control_bytes"] == 48
+
+
+def test_traffic_counting_local_miss_is_free(machine2):
+    """Messages to the local directory never cross the network: a miss
+    to a locally homed block counts no wire bytes (the paper's byte
+    counts are network traffic)."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            yield from ctx.read(region)
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    p0 = result.board.procs[0]
+    assert p0.counts.get("data_bytes", 0) == 0
+    assert p0.counts.get("control_bytes", 0) == 0
+
+
+def test_values_move_between_processors(machine2):
+    seen = {}
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 8)
+            yield from ctx.write(region, 0, values=np.arange(8.0))
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            region = ctx.machine.regions[0]
+            values = yield from ctx.read(region)
+            seen[1] = np.array(values)
+
+    machine2.run(program)
+    assert (seen[1] == np.arange(8.0)).all()
+
+
+def test_read_gather_and_write_scatter(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 32)
+            yield from ctx.write_scatter(region, [0, 15, 31], [1.0, 2.0, 3.0])
+            values = yield from ctx.read_gather(region, [0, 15, 31])
+            assert list(values) == [1.0, 2.0, 3.0]
+        else:
+            yield from ctx.compute(1)
+
+    machine2.run(program)
+
+
+def test_compute_remap_in_sync_context(machine2):
+    def program(ctx):
+        with ctx.stats.context("sync"):
+            yield from ctx.compute(77)
+
+    result = machine2.run(program)
+    assert result.board.mean_cycles(SmCat.SYNC_COMPUTE) == 77
+    assert result.board.mean_cycles(SmCat.COMPUTE) == 0
+
+
+def test_startup_wait(machine4):
+    def program(ctx):
+        if ctx.pid == 0:
+            yield from ctx.compute(1000)
+            ctx.create()
+        else:
+            yield from ctx.wait_create()
+
+    result = machine4.run(program)
+    for proc in result.board.procs[1:]:
+        assert proc.cycles[SmCat.STARTUP_WAIT] == 1000
+    assert result.board.procs[0].cycles.get(SmCat.STARTUP_WAIT, 0) == 0
+
+
+def test_barrier_charges_wait(machine4):
+    def program(ctx):
+        yield from ctx.compute(100 * ctx.pid)
+        yield from ctx.barrier()
+
+    result = machine4.run(program)
+    waits = [p.cycles.get(SmCat.BARRIER, 0) for p in result.board.procs]
+    assert waits[0] > waits[3]
+    assert waits[3] == machine4.params.common.barrier_latency

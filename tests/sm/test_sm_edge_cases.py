@@ -1,0 +1,194 @@
+"""Edge cases of the shared-memory machine surface and extensions."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dataspace import HomePolicy
+from repro.stats.categories import SmCat
+
+
+def test_atomic_on_private_region_rejected(machine2):
+    def program(ctx):
+        region = ctx.alloc_private("p", 4)
+        yield from ctx.atomic_swap(region, 0, 1.0)
+
+    with pytest.raises(Exception):
+        machine2.run(program)
+
+
+def test_atomic_cas_failure_leaves_value(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, fill=7.0)
+            swapped = yield from ctx.atomic_cas(region, 0, expected=3.0,
+                                                new_value=9.0)
+            assert swapped is False
+            assert region.np[0] == 7.0
+            swapped = yield from ctx.atomic_cas(region, 0, expected=7.0,
+                                                new_value=9.0)
+            assert swapped is True
+            assert region.np[0] == 9.0
+        else:
+            yield from ctx.compute(1)
+
+    machine2.run(program)
+
+
+def test_repeated_atomic_swaps_hit_in_cache(machine2):
+    """After gaining exclusivity, further swaps are protocol-free."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            for i in range(10):
+                yield from ctx.atomic_swap(region, 0, float(i))
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    p0 = result.board.procs[0]
+    misses = p0.counts.get("shared_misses_local", 0) + p0.counts.get(
+        "shared_misses_remote", 0
+    )
+    assert misses == 1  # only the first swap misses
+    assert p0.counts["atomic_ops"] == 10
+
+
+def test_flush_of_absent_lines_is_noop(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 8)
+            yield from ctx.flush(region)  # nothing cached yet
+
+    result = machine2.run(program)
+    assert result.board.total_count("flushes") == 0
+
+
+def test_flush_dirty_line_writes_back(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            yield from ctx.write(region, 0, values=[1.0])
+            yield from ctx.flush(region)
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    p0 = result.board.procs[0]
+    assert p0.counts["flushes"] == 1
+    assert p0.counts["writebacks"] == 1
+
+
+def test_flushed_reader_can_remiss(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL, fill=3.0)
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            region = ctx.machine.regions[0]
+            yield from ctx.read(region, 0, 1)
+            yield from ctx.flush(region, 0, 1)
+            values = yield from ctx.read(region, 0, 1)  # re-miss, same data
+            assert values[0] == 3.0
+
+    result = machine2.run(program)
+    p1 = result.board.procs[1]
+    assert p1.counts["shared_misses_remote"] == 2
+
+
+def test_push_update_requires_update_region(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4)  # dir protocol
+            yield from ctx.push_update(region, [0], [1])
+
+    with pytest.raises(Exception):
+        machine2.run(program)
+
+
+def test_push_update_to_self_is_skipped(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, protocol="update")
+            yield from ctx.write(region, 0, values=[1.0])
+            yield from ctx.push_update(region, [0], [0])  # self only
+
+    result = machine2.run(program)
+    assert result.board.total_count("update_pushes") == 0
+
+
+def test_prefetch_of_cached_block_is_noop(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+            yield from ctx.read(region, 0, 1)
+            yield from ctx.prefetch_gather(region, [0])
+        else:
+            yield from ctx.compute(1)
+
+    result = machine2.run(program)
+    assert result.board.total_count("prefetches") == 0
+
+
+def test_prefetch_then_read_hits(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL)
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            region = ctx.machine.regions[0]
+            yield from ctx.prefetch_gather(region, [0])
+            yield from ctx.compute(5_000)  # plenty of time to arrive
+            yield from ctx.read(region, 0, 1)
+
+    result = machine2.run(program)
+    p1 = result.board.procs[1]
+    assert p1.counts["prefetches"] == 1
+    # The demand read found the line: no demand miss charged.
+    assert p1.counts.get("shared_misses_remote", 0) == 0
+    assert p1.cycles.get(SmCat.SHARED_MISS, 0) == 0
+
+
+def test_prefetch_race_with_demand_read_is_safe(machine2):
+    """A demand read issued before the prefetch reply still works."""
+
+    def program(ctx):
+        if ctx.pid == 0:
+            ctx.gmalloc("g", 4, policy=HomePolicy.LOCAL, fill=4.0)
+        yield from ctx.barrier()
+        if ctx.pid == 1:
+            region = ctx.machine.regions[0]
+            yield from ctx.prefetch_gather(region, [0])
+            values = yield from ctx.read(region, 0, 1)  # immediately
+            assert values[0] == 4.0
+
+    machine2.run(program)  # must not crash or deadlock
+
+
+def test_gmalloc_bad_protocol_rejected(machine2):
+    with pytest.raises(ValueError):
+        machine2.contexts[0].gmalloc("g", 4, protocol="bogus")
+
+
+def test_write_scatter_values_land(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 16)
+            yield from ctx.write_scatter(region, [1, 5, 9], [1.0, 5.0, 9.0])
+            assert region.np[1] == 1.0
+            assert region.np[5] == 5.0
+            assert region.np[9] == 9.0
+        else:
+            yield from ctx.compute(1)
+
+    machine2.run(program)
+
+
+def test_read_empty_gather(machine2):
+    def program(ctx):
+        if ctx.pid == 0:
+            region = ctx.gmalloc("g", 8)
+            values = yield from ctx.read_gather(region, [])
+            assert values.size == 0
+
+    machine2.run(program)

@@ -1,0 +1,123 @@
+"""Unit tests for cycle-category accounting."""
+
+import pytest
+
+from repro.stats.categories import MpCat, SmCat
+from repro.stats.collector import ProcStats, StatsBoard
+
+LIB_REMAP = {
+    "lib": {MpCat.COMPUTE: MpCat.LIB_COMPUTE, MpCat.LOCAL_MISS: MpCat.LIB_MISS}
+}
+
+
+def test_basic_charge_and_total():
+    stats = ProcStats(0)
+    stats.charge(MpCat.COMPUTE, 100)
+    stats.charge(MpCat.COMPUTE, 50)
+    stats.charge(MpCat.LOCAL_MISS, 20)
+    assert stats.cycles[MpCat.COMPUTE] == 150
+    assert stats.total_cycles() == 170
+
+
+def test_context_remaps_category():
+    stats = ProcStats(0, remaps=LIB_REMAP)
+    stats.charge(MpCat.COMPUTE, 10)
+    with stats.context("lib"):
+        stats.charge(MpCat.COMPUTE, 7)
+        stats.charge(MpCat.LOCAL_MISS, 3)
+    stats.charge(MpCat.COMPUTE, 5)
+    assert stats.cycles[MpCat.COMPUTE] == 15
+    assert stats.cycles[MpCat.LIB_COMPUTE] == 7
+    assert stats.cycles[MpCat.LIB_MISS] == 3
+
+
+def test_innermost_context_wins():
+    remaps = {
+        "sync": {SmCat.COMPUTE: SmCat.SYNC_COMPUTE},
+        "startup": {SmCat.COMPUTE: SmCat.STARTUP_WAIT},
+    }
+    stats = ProcStats(0, remaps=remaps)
+    with stats.context("sync"):
+        with stats.context("startup"):
+            stats.charge(SmCat.COMPUTE, 4)
+        stats.charge(SmCat.COMPUTE, 2)
+    assert stats.cycles[SmCat.STARTUP_WAIT] == 4
+    assert stats.cycles[SmCat.SYNC_COMPUTE] == 2
+
+
+def test_charge_raw_bypasses_context():
+    stats = ProcStats(0, remaps=LIB_REMAP)
+    with stats.context("lib"):
+        stats.charge_raw(MpCat.COMPUTE, 9)
+    assert stats.cycles[MpCat.COMPUTE] == 9
+    assert MpCat.LIB_COMPUTE not in stats.cycles
+
+
+def test_unknown_context_rejected():
+    stats = ProcStats(0)
+    with pytest.raises(KeyError):
+        stats.push_context("nope")
+
+
+def test_negative_charge_rejected():
+    stats = ProcStats(0)
+    with pytest.raises(ValueError):
+        stats.charge(MpCat.COMPUTE, -1)
+
+
+def test_phases_accumulate_in_parallel():
+    stats = ProcStats(0)
+    with stats.phase("init"):
+        stats.charge(MpCat.COMPUTE, 10)
+        stats.count("messages_sent", 2)
+    with stats.phase("main"):
+        stats.charge(MpCat.COMPUTE, 30)
+    assert stats.phase_cycles["init"][MpCat.COMPUTE] == 10
+    assert stats.phase_cycles["main"][MpCat.COMPUTE] == 30
+    assert stats.cycles[MpCat.COMPUTE] == 40
+    assert stats.phase_counts["init"]["messages_sent"] == 2
+
+
+def test_nested_phases_charge_both():
+    stats = ProcStats(0)
+    with stats.phase("whole"):
+        with stats.phase("inner"):
+            stats.charge(MpCat.COMPUTE, 5)
+    assert stats.phase_cycles["whole"][MpCat.COMPUTE] == 5
+    assert stats.phase_cycles["inner"][MpCat.COMPUTE] == 5
+
+
+def test_board_means():
+    a, b = ProcStats(0), ProcStats(1)
+    a.charge(MpCat.COMPUTE, 100)
+    b.charge(MpCat.COMPUTE, 200)
+    a.count("messages_sent", 4)
+    board = StatsBoard([a, b])
+    assert board.mean_cycles(MpCat.COMPUTE) == 150
+    assert board.mean_total() == 150
+    assert board.mean_count("messages_sent") == 2
+    assert board.total_count("messages_sent") == 4
+
+
+def test_board_phase_means():
+    a, b = ProcStats(0), ProcStats(1)
+    with a.phase("main"):
+        a.charge(MpCat.COMPUTE, 10)
+    with b.phase("main"):
+        b.charge(MpCat.COMPUTE, 30)
+    board = StatsBoard([a, b])
+    assert board.mean_cycles(MpCat.COMPUTE, phase="main") == 20
+    assert board.mean_total(phase="main") == 20
+
+
+def test_board_requires_processors():
+    with pytest.raises(ValueError):
+        StatsBoard([])
+
+
+def test_categories_listing():
+    a = ProcStats(0)
+    a.charge(MpCat.COMPUTE, 1)
+    a.charge(MpCat.BARRIER, 1)
+    board = StatsBoard([a])
+    assert board.categories() == [MpCat.COMPUTE, MpCat.BARRIER]

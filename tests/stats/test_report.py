@@ -1,0 +1,61 @@
+"""Formatting tests for paper-style tables."""
+
+from repro.stats.report import (
+    format_breakdown,
+    format_comparison,
+    format_counts,
+    human_quantity,
+)
+
+
+def test_human_quantity_paper_styles():
+    assert human_quantity(2_400_000) == "2.4M"
+    assert human_quantity(23_590) == "23,590"
+    assert human_quantity(774) == "774"
+    assert human_quantity(1_100_000) == "1.1M"
+
+
+def test_breakdown_contains_rows_and_total():
+    text = format_breakdown(
+        "MSE Message Passing (MSE-MP)",
+        [("Computation", 1115.9e6, 0), ("Local Misses", 44.6e6, 0)],
+        total=1241.1e6,
+        relative=("Relative to Shared Memory", 0.98),
+    )
+    assert "MSE Message Passing" in text
+    assert "Computation" in text
+    assert "1115.90" in text
+    assert "90%" in text
+    assert "Total" in text
+    assert "98%" in text
+
+
+def test_breakdown_zero_total_no_crash():
+    text = format_breakdown("Empty", [("Computation", 0, 0)], total=0)
+    assert "Computation" in text
+
+
+def test_breakdown_indents_subcategories():
+    text = format_breakdown(
+        "T", [("Communication", 100.0e6, 0), ("Lib Comp", 60.0e6, 1)], total=100.0e6
+    )
+    assert "  Lib Comp" in text
+
+
+def test_counts_table():
+    text = format_counts(
+        "MSE-MP counts",
+        [("Local Misses", "2.4M", 0), ("Messages sent", "1271", 0),
+         ("Data", "0.8M", 1)],
+    )
+    assert "Local Misses" in text
+    assert "  Data" in text
+
+
+def test_comparison_table():
+    text = format_comparison(
+        "LCP", ["Synchronous", "Asynchronous"],
+        [("Channel writes", ["220", "5,425"])],
+    )
+    assert "Synchronous" in text
+    assert "5,425" in text
