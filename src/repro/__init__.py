@@ -11,7 +11,10 @@ Public surface:
   MP/SM pair);
 * the comparative study harness: :mod:`repro.core` (breakdowns, pair
   studies, and the experiment registry covering every table and figure
-  of the paper's evaluation).
+  of the paper's evaluation);
+* the run harness: :mod:`repro.runner` (parameterized configs, a
+  content-addressed on-disk result cache, and a multiprocessing
+  executor behind ``python -m repro run --jobs N``).
 
 Quick taste::
 
@@ -22,7 +25,8 @@ Quick taste::
 or, from a shell::
 
     python -m repro list
-    python -m repro run em3d
+    python -m repro run em3d --jobs 4
+    python -m repro cache ls
 """
 
 from repro.arch.params import MachineParams

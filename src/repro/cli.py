@@ -4,48 +4,53 @@ Commands:
 
 * ``python -m repro list`` — every registered experiment and the paper
   tables it regenerates;
-* ``python -m repro run <id> [...]`` — run experiments, print the
+* ``python -m repro run <id> [...]`` — run experiments through the
+  harness (parallel workers, on-disk result cache), print the
   paper-style tables and the shape checks;
-* ``python -m repro run --all`` — the full evaluation section.
+* ``python -m repro run --all --jobs 4 --json out.json`` — the full
+  evaluation section, fanned out over 4 worker processes, records
+  exported as JSON;
+* ``python -m repro cache ls`` / ``python -m repro cache clear`` —
+  inspect or drop the on-disk result cache;
+* ``python -m repro fidelity`` — the paper-vs-run scorecard.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
-from typing import Any, List
+from pathlib import Path
+from typing import List, Optional
 
-from repro.core.experiments import EXPERIMENTS, get_experiment, run_experiment
-from repro.core.study import PairResult
-from repro.core.tables import render_pair
+from repro.core.experiments import EXPERIMENTS, get_experiment
+from repro.runner.api import execute
+from repro.runner.cache import ResultCache
+from repro.runner.executor import default_jobs
+from repro.runner.record import RunRecord
 
 
-def _print_result(exp_id: str, result: Any) -> None:
-    spec = get_experiment(exp_id)
+def _print_record(record: RunRecord) -> bool:
+    """Print one record the way the paper's tables read; True if all checks pass."""
+    spec = get_experiment(record.exp_id)
     print("=" * 72)
     print(f"{spec.title}")
     print(f"(regenerates: {spec.paper_tables})")
     print("=" * 72)
-    if isinstance(result, PairResult):
-        print(render_pair(result, phases=bool(result.phases)))
-    elif isinstance(result, dict):
-        for key, value in result.items():
-            if hasattr(value, "board"):
-                continue  # raw machine results; the checks summarize them
-            print(f"  {key}: {value}")
+    if record.rendered:
+        print(record.rendered)
     print()
     print("shape checks (paper's qualitative results):")
     all_ok = True
-    for name, ok, detail in spec.shape(result):
+    for name, ok, detail in record.checks:
         mark = "PASS" if ok else "FAIL"
-        all_ok &= ok
+        all_ok &= bool(ok)
         print(f"  [{mark}] {name}: {detail}")
-    if spec.notes:
-        print(f"\nnote: {spec.notes}")
-    print()
-    if not all_ok:
-        raise SystemExit(f"experiment {exp_id} failed its shape checks")
+    if record.notes:
+        print(f"\nnote: {record.notes}")
+    source = "cache hit" if record.cached else f"ran in {record.elapsed_seconds:.1f}s"
+    print(f"\n({source})\n")
+    return all_ok
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -61,25 +66,82 @@ def cmd_run(args: argparse.Namespace) -> int:
     if not exp_ids:
         print("nothing to run: name experiments or pass --all", file=sys.stderr)
         return 2
-    for exp_id in exp_ids:
-        get_experiment(exp_id)  # fail fast on typos before any long run
-    for exp_id in exp_ids:
-        start = time.time()
-        result = run_experiment(exp_id)
-        elapsed = time.time() - start
-        _print_result(exp_id, result)
-        print(f"(ran in {elapsed:.1f}s wall time)\n")
+    try:
+        for exp_id in exp_ids:
+            get_experiment(exp_id)  # fail fast on typos before any long run
+    except KeyError as exc:
+        print(f"repro run: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    done = []
+
+    def progress(record: RunRecord) -> None:
+        done.append(record)
+        source = "cached" if record.cached else f"{record.elapsed_seconds:.1f}s"
+        print(
+            f"[{len(done)}/{len(exp_ids)}] {record.exp_id} ({source})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    records = execute(
+        exp_ids,
+        jobs=jobs,
+        use_cache=not args.no_cache,
+        force=args.force,
+        progress=progress,
+    )
+
+    failed: List[str] = []
+    for exp_id, record in records.items():
+        if not _print_record(record):
+            failed.append(exp_id)
+
+    if args.json:
+        payload = [record.to_jsonable() for record in records.values()]
+        try:
+            Path(args.json).write_text(json.dumps(payload, indent=1, sort_keys=True))
+        except OSError as exc:
+            print(f"repro run: error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {len(payload)} records to {args.json}", file=sys.stderr)
+
+    if failed:
+        print(
+            f"shape checks failed: {', '.join(failed)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 
 def cmd_fidelity(_args: argparse.Namespace) -> int:
     from repro.core.fidelity import assess_all, render_scorecard
 
-    print("running the five pair experiments (memoized if already run)...")
+    print("running the five pair experiments (cached if already run)...")
     rows = assess_all()
     print()
     print(render_scorecard(rows))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache()
+    if args.cache_command == "ls":
+        lines = cache.ls()
+        if not lines:
+            print(f"cache empty ({cache.directory})")
+        else:
+            print(f"cache {cache.directory}: {len(lines)} records")
+            for line in lines:
+                print(f"  {line}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} records from {cache.directory}")
+        return 0
+    print("unknown cache command", file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,7 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment ids (see `list`)")
     run_parser.add_argument("--all", action="store_true",
                             help="run the whole evaluation section")
+    run_parser.add_argument("--jobs", "-j", type=int, default=None,
+                            metavar="N",
+                            help="worker processes (default: cpu count)")
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="export the run records as JSON")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache entirely")
+    run_parser.add_argument("--force", action="store_true",
+                            help="re-simulate even on a cache hit")
     run_parser.set_defaults(handler=cmd_run)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_parser.add_argument("cache_command", choices=["ls", "clear"],
+                              help="ls: list records; clear: delete them")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     fidelity_parser = subparsers.add_parser(
         "fidelity",
@@ -109,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.handler(args)
 

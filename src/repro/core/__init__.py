@@ -9,14 +9,24 @@ and per-processor event counts — into a reusable harness:
 * :mod:`repro.core.experiments` — the registry mapping every table and
   figure of the paper's evaluation to a runnable configuration;
 * :mod:`repro.core.tables` — paper-style rendering.
+
+Execution (parallel workers, the on-disk result cache, serializable
+run records) lives in :mod:`repro.runner`; :func:`run_experiment`
+remains here as the in-process compatibility entry point.
 """
 
 from repro.core.breakdown import MpBreakdown, MpCounts, SmBreakdown, SmCounts
-from repro.core.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.core.experiments import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    get_experiment,
+    run_experiment,
+)
 from repro.core.study import PairResult
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentSpec",
     "MpBreakdown",
     "MpCounts",
     "PairResult",

@@ -2,9 +2,15 @@
 
 Each :class:`ExperimentSpec` names the paper tables it regenerates,
 carries the paper's reported values (for EXPERIMENTS.md and the shape
-checks), and a runner that executes the scaled configuration. Runs are
-memoized so that several benches (e.g., the breakdown and event-count
-tables of one application) share one simulation.
+checks), a default :class:`~repro.runner.config.ExperimentConfig`, and
+a runner. Runners are **top-level functions of an explicit config** —
+picklable and parameterizable — so the :mod:`repro.runner` harness can
+execute them in worker processes, sweep them with overrides, and cache
+their results content-addressed on disk.
+
+:func:`run_experiment` remains as a thin compatibility wrapper over
+:func:`repro.runner.api.run_raw` (in-process, memoized per
+configuration); ``python -m repro run`` goes through the full harness.
 
 Scale: the paper's runs are hundreds of millions to billions of target
 cycles on 32 processors; a pure-Python event simulation reproduces
@@ -16,6 +22,7 @@ scaled with the working sets so that capacity effects (EM3D Tables
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Tuple
 
@@ -31,10 +38,10 @@ from repro.apps.lcp.sm import run_lcp_sm
 from repro.apps.mse.common import MseConfig
 from repro.apps.mse.mp import run_mse_mp
 from repro.apps.mse.sm import run_mse_sm
-from repro.arch.params import MachineParams
 from repro.core.study import PairResult
 from repro.memory.dataspace import HomePolicy
 from repro.mp.machine import MpMachine
+from repro.runner.config import ExperimentConfig
 from repro.sm.machine import SmMachine
 
 #: A shape check: (description, passed, detail-string).
@@ -49,13 +56,15 @@ class ExperimentSpec:
     title: str
     paper_tables: str
     description: str
-    runner: Callable[[], Any]
+    runner: Callable[[ExperimentConfig], Any]
+    config: ExperimentConfig
     shape: Callable[[Any], List[ShapeCheck]]
     paper: Dict[str, Any] = field(default_factory=dict)
     notes: str = ""
-
-
-_RESULTS: Dict[str, Any] = {}
+    #: Baselines this experiment's shape checks compare against; the
+    #: executor co-locates them in one worker so the in-process memo
+    #: serves the comparison.
+    after: Tuple[str, ...] = ()
 
 
 def get_experiment(exp_id: str) -> ExperimentSpec:
@@ -67,16 +76,35 @@ def get_experiment(exp_id: str) -> ExperimentSpec:
         ) from None
 
 
-def run_experiment(exp_id: str) -> Any:
-    """Run (or fetch the memoized result of) one experiment."""
-    if exp_id not in _RESULTS:
-        _RESULTS[exp_id] = get_experiment(exp_id).runner()
-    return _RESULTS[exp_id]
+def run_experiment(exp_id: str, overrides: Dict[str, Any] = None) -> Any:
+    """Run one experiment in-process (memoized per configuration).
+
+    Compatibility wrapper over :func:`repro.runner.api.run_raw`.
+    ``overrides`` parameterizes sweeps, e.g.
+    ``run_experiment("gauss", overrides={"app": {"n": 64}})``.
+    """
+    from repro.runner.api import run_raw
+
+    return run_raw(exp_id, overrides)
 
 
 def clear_cache() -> None:
-    """Drop memoized results (tests use this for isolation)."""
-    _RESULTS.clear()
+    """Deprecated: use :func:`repro.runner.api.clear_memory_cache`.
+
+    The in-process memo moved into the runner harness; the persistent
+    result store is :class:`repro.runner.cache.ResultCache`
+    (``python -m repro cache {ls,clear}``).
+    """
+    from repro.runner.api import clear_memory_cache
+
+    warnings.warn(
+        "repro.core.experiments.clear_cache() is deprecated; use "
+        "repro.runner.api.clear_memory_cache() (in-process memo) or "
+        "repro.runner.cache.ResultCache.clear() (on-disk records)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    clear_memory_cache()
 
 
 # ---------------------------------------------------------------------------
@@ -85,48 +113,110 @@ def clear_cache() -> None:
 
 _SEED = 1994
 
-MSE_PROCS = 8
-MSE_CONFIG = MseConfig(
-    bodies=32, elements_per_body=6, iterations=8, seed=_SEED
-)
 # The paper's MSE working set slightly exceeds what its 256 KB cache
 # holds comfortably (local misses are 4-5% of time, and private misses
 # dwarf the schedule-driven shared misses). 8 KB against this scaled
 # run's ~8 KB of positions + vectors keeps both properties.
-MSE_CACHE = 8 * 1024
-
-GAUSS_PROCS = 8
-GAUSS_CONFIG = GaussConfig(n=224, seed=_SEED)
-
-EM3D_PROCS = 8
-EM3D_CONFIG = Em3dConfig(
-    nodes_per_proc=100, degree=6, remote_frac=0.20, iterations=6, seed=_SEED
+MSE_CONFIG = ExperimentConfig(
+    exp_id="mse",
+    procs=8,
+    seed=_SEED,
+    cache_bytes=8 * 1024,
+    app=MseConfig(bodies=32, elements_per_body=6, iterations=8, seed=_SEED),
 )
+
+GAUSS_CONFIG = ExperimentConfig(
+    exp_id="gauss", procs=8, seed=_SEED, app=GaussConfig(n=224, seed=_SEED)
+)
+
+# The strategy study uses more processors than the breakdown runs: the
+# lop-sided tree's advantage over a binary tree grows with the machine
+# (the paper ran 32 processors).
+GAUSS_COLLECTIVES_CONFIG = ExperimentConfig(
+    exp_id="gauss_collectives",
+    procs=16,
+    seed=_SEED,
+    app=GaussConfig(n=96, seed=_SEED),
+    options=(("strategies", ("flat", "binary", "lopsided")),),
+)
+
+GAUSS_CONTENTION_CONFIG = ExperimentConfig(
+    exp_id="gauss_contention",
+    procs=16,
+    seed=_SEED,
+    app=GaussConfig(n=96, seed=_SEED),
+    options=(("proc_counts", (4, 8, 16)),),
+)
+
 EM3D_CACHE = 16 * 1024  # ~2/3 of the per-processor working set (paper: ~45%)
 EM3D_BIG_CACHE = 4 * EM3D_CACHE  # the paper's 256KB -> 1MB step
+_EM3D_APP = Em3dConfig(
+    nodes_per_proc=100, degree=6, remote_frac=0.20, iterations=6, seed=_SEED
+)
 
-LCP_PROCS = 8
+EM3D_CONFIG = ExperimentConfig(
+    exp_id="em3d", procs=8, seed=_SEED, cache_bytes=EM3D_CACHE, app=_EM3D_APP
+)
+EM3D_BIGCACHE_CONFIG = ExperimentConfig(
+    exp_id="em3d_bigcache",
+    procs=8,
+    seed=_SEED,
+    cache_bytes=EM3D_BIG_CACHE,
+    app=_EM3D_APP,
+)
+EM3D_LOCALALLOC_CONFIG = ExperimentConfig(
+    exp_id="em3d_localalloc",
+    procs=8,
+    seed=_SEED,
+    cache_bytes=EM3D_CACHE,
+    app=_EM3D_APP,
+    options=(("policy", HomePolicy.LOCAL.value),),
+)
+EM3D_PROTOCOLS_CONFIG = ExperimentConfig(
+    exp_id="em3d_protocols",
+    procs=8,
+    seed=_SEED,
+    cache_bytes=EM3D_CACHE,
+    app=_EM3D_APP,
+    options=(("variants", ("base", "flush", "update")),),
+)
+
 # band/stride chosen so rows couple across block boundaries the way the
 # paper's matrices evidently did: the asynchronous variant's extra
 # traffic (paper Table 23: 4.7x) needs real cross-processor reuse.
-LCP_CONFIG = LcpConfig(n=256, band=6, stride_couples=2, tolerance=1e-7,
-                       seed=_SEED)
+_LCP_APP = LcpConfig(n=256, band=6, stride_couples=2, tolerance=1e-7, seed=_SEED)
+
+LCP_CONFIG = ExperimentConfig(
+    exp_id="lcp", procs=8, seed=_SEED, app=_LCP_APP,
+    options=(("asynchronous", False),),
+)
+ALCP_CONFIG = ExperimentConfig(
+    exp_id="alcp", procs=8, seed=_SEED, app=_LCP_APP,
+    options=(("asynchronous", True),),
+)
+
+VALIDATION_CONFIG = ExperimentConfig(exp_id="validation", procs=2, seed=_SEED)
 
 
-def _mse_pair() -> PairResult:
-    params = MachineParams.paper(num_processors=MSE_PROCS).with_cache_bytes(MSE_CACHE)
-    mp_result, _x = run_mse_mp(MpMachine(params, seed=_SEED), MSE_CONFIG)
-    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=_SEED), MSE_CONFIG)
+# ---------------------------------------------------------------------------
+# Runners: top-level functions of an explicit config.
+# ---------------------------------------------------------------------------
+
+
+def run_mse_pair(config: ExperimentConfig) -> PairResult:
+    params = config.machine_params()
+    mp_result, _x = run_mse_mp(MpMachine(params, seed=config.seed), config.app)
+    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=config.seed), config.app)
     return PairResult(
         name="MSE", mp_result=mp_result, sm_result=sm_result,
         phases=["init", "main"],
     )
 
 
-def _gauss_pair() -> PairResult:
-    params = MachineParams.paper(num_processors=GAUSS_PROCS)
-    mp_result, _x = run_gauss_mp(MpMachine(params, seed=_SEED), GAUSS_CONFIG)
-    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=_SEED), GAUSS_CONFIG)
+def run_gauss_pair(config: ExperimentConfig) -> PairResult:
+    params = config.machine_params()
+    mp_result, _x = run_gauss_mp(MpMachine(params, seed=config.seed), config.app)
+    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=config.seed), config.app)
     extra = {"directory_queue_delay": sm_result.machine.directory_contention()}
     return PairResult(
         name="Gauss", mp_result=mp_result, sm_result=sm_result,
@@ -134,27 +224,21 @@ def _gauss_pair() -> PairResult:
     )
 
 
-def _gauss_collectives() -> Dict[str, float]:
-    """The text's strategy study: flat vs binary vs lop-sided trees.
-
-    Uses more processors than the breakdown runs: the lop-sided tree's
-    advantage over a binary tree grows with the machine (the paper ran
-    32 processors).
-    """
-    config = GaussConfig(n=96, seed=_SEED)
+def run_gauss_collectives(config: ExperimentConfig) -> Dict[str, float]:
+    """The text's strategy study: flat vs binary vs lop-sided trees."""
     totals: Dict[str, float] = {}
-    for strategy in ("flat", "binary", "lopsided"):
+    for strategy in config.opt("strategies", ("flat", "binary", "lopsided")):
         machine = MpMachine(
-            MachineParams.paper(num_processors=16),
-            seed=_SEED,
+            config.machine_params(),
+            seed=config.seed,
             collective_strategy=strategy,
         )
-        result, _x = run_gauss_mp(machine, config)
+        result, _x = run_gauss_mp(machine, config.app)
         totals[strategy] = result.board.mean_total()
     return totals
 
 
-def _gauss_contention_scaling() -> Dict[int, Dict[str, float]]:
+def run_gauss_contention(config: ExperimentConfig) -> Dict[int, Dict[str, float]]:
     """Section 5.2's scalability remark, measured.
 
     "These delays [directory queuing] ... will become untenable for
@@ -165,11 +249,11 @@ def _gauss_contention_scaling() -> Dict[int, Dict[str, float]]:
     from repro.stats.categories import SmCat
 
     results: Dict[int, Dict[str, float]] = {}
-    for nprocs in (4, 8, 16):
+    for nprocs in config.opt("proc_counts", (4, 8, 16)):
         machine = SmMachine(
-            MachineParams.paper(num_processors=nprocs), seed=_SEED
+            config.machine_params(procs=nprocs), seed=config.seed
         )
-        run, _x = run_gauss_sm(machine, GaussConfig(n=96, seed=_SEED))
+        run, _x = run_gauss_sm(machine, config.app)
         board = run.board
         misses = board.mean_count("shared_misses_remote") + board.mean_count(
             "shared_misses_local"
@@ -182,29 +266,14 @@ def _gauss_contention_scaling() -> Dict[int, Dict[str, float]]:
     return results
 
 
-def _contention_scaling_shape(results: Dict[int, Dict[str, float]]) -> List[ShapeCheck]:
-    procs = sorted(results)
-    delays = [results[p]["queue_delay"] for p in procs]
-    costs = [results[p]["miss_cost"] for p in procs]
-    return [
-        _check("queue delay grows with the machine",
-               delays[0] < delays[-1],
-               f"{delays[0]:.0f} -> {delays[-1]:.0f} cycles over {procs} procs"),
-        _check("per-miss cost grows with the machine",
-               costs[0] < costs[-1],
-               f"{costs[0]:.0f} -> {costs[-1]:.0f} cycles (paper: ~700 "
-               "contended vs ~250 idle at 32 procs)"),
-    ]
-
-
-def _em3d_pair(cache_bytes: int = EM3D_CACHE,
-               policy: HomePolicy = HomePolicy.ROUND_ROBIN) -> PairResult:
-    params = MachineParams.paper(num_processors=EM3D_PROCS).with_cache_bytes(
-        cache_bytes
+def run_em3d_pair(config: ExperimentConfig) -> PairResult:
+    params = config.machine_params()
+    policy = HomePolicy(config.opt("policy", HomePolicy.ROUND_ROBIN.value))
+    mp_result, _e, _h = run_em3d_mp(
+        MpMachine(params, seed=config.seed), config.app
     )
-    mp_result, _e, _h = run_em3d_mp(MpMachine(params, seed=_SEED), EM3D_CONFIG)
     sm_result, _e2, _h2 = run_em3d_sm(
-        SmMachine(params, seed=_SEED, allocation_policy=policy), EM3D_CONFIG
+        SmMachine(params, seed=config.seed, allocation_policy=policy), config.app
     )
     return PairResult(
         name="EM3D", mp_result=mp_result, sm_result=sm_result,
@@ -212,55 +281,33 @@ def _em3d_pair(cache_bytes: int = EM3D_CACHE,
     )
 
 
-def _em3d_protocols() -> Dict[str, Any]:
+def run_em3d_protocols(config: ExperimentConfig) -> Dict[str, Any]:
     """Section 5.3.4's suggested fixes, implemented and measured.
 
     Runs EM3D-SM under the base invalidation protocol, with consumer
     flushes, and with the bulk-update protocol, against the EM3D-MP
     baseline.
     """
-    params = MachineParams.paper(num_processors=EM3D_PROCS).with_cache_bytes(
-        EM3D_CACHE
+    params = config.machine_params()
+    mp_result, _e, _h = run_em3d_mp(
+        MpMachine(params, seed=config.seed), config.app
     )
-    mp_result, _e, _h = run_em3d_mp(MpMachine(params, seed=_SEED), EM3D_CONFIG)
     results: Dict[str, Any] = {"mp": mp_result}
-    for variant in ("base", "flush", "update"):
-        machine = SmMachine(params, seed=_SEED)
-        sm_result, _e2, _h2 = run_em3d_sm(machine, EM3D_CONFIG, variant=variant)
+    for variant in config.opt("variants", ("base", "flush", "update")):
+        machine = SmMachine(params, seed=config.seed)
+        sm_result, _e2, _h2 = run_em3d_sm(machine, config.app, variant=variant)
         results[variant] = sm_result
     return results
 
 
-def _em3d_protocols_shape(results: Dict[str, Any]) -> List[ShapeCheck]:
-    mp_main = results["mp"].board.mean_total(phase="main")
-    ratios = {
-        variant: results[variant].board.mean_total(phase="main") / mp_main
-        for variant in ("base", "flush", "update")
-    }
-    base_invals = results["base"].board.mean_count(
-        "invalidations_received", phase="main"
-    )
-    flush_invals = results["flush"].board.mean_count(
-        "invalidations_received", phase="main"
-    )
-    return [
-        _check("flush cuts invalidations", flush_invals < 0.5 * base_invals,
-               f"{flush_invals:.0f} vs {base_invals:.0f} per processor"),
-        _check("flush does not regress", ratios["flush"] <= ratios["base"] * 1.02,
-               f"SM/MP {ratios['flush']:.2f} vs base {ratios['base']:.2f}"),
-        _check("bulk update closes the gap", ratios["update"] < ratios["base"],
-               f"SM/MP {ratios['update']:.2f} vs base {ratios['base']:.2f} "
-               "(paper: 'performed equivalently with EM3D-MP')"),
-    ]
-
-
-def _lcp_pair(asynchronous: bool) -> PairResult:
-    params = MachineParams.paper(num_processors=LCP_PROCS)
+def run_lcp_pair(config: ExperimentConfig) -> PairResult:
+    asynchronous = bool(config.opt("asynchronous", False))
+    params = config.machine_params()
     mp_result, _z, mp_steps = run_lcp_mp(
-        MpMachine(params, seed=_SEED), LCP_CONFIG, asynchronous=asynchronous
+        MpMachine(params, seed=config.seed), config.app, asynchronous=asynchronous
     )
     sm_result, _z2, sm_steps = run_lcp_sm(
-        SmMachine(params, seed=_SEED), LCP_CONFIG, asynchronous=asynchronous
+        SmMachine(params, seed=config.seed), config.app, asynchronous=asynchronous
     )
     return PairResult(
         name="ALCP" if asynchronous else "LCP",
@@ -271,7 +318,7 @@ def _lcp_pair(asynchronous: bool) -> PairResult:
     )
 
 
-def _validation_micro() -> Dict[str, Dict[str, float]]:
+def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]]:
     """Section 4.1's validation, adapted: measured vs analytic latencies.
 
     The paper validated its simulator against a physical CM-5 (within
@@ -280,9 +327,10 @@ def _validation_micro() -> Dict[str, Dict[str, float]]:
     costs they are built from.
     """
     checks: Dict[str, Dict[str, float]] = {}
+    params = config.machine_params()
 
     # Message-passing: one-way active-message latency.
-    mp_machine = MpMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    mp_machine = MpMachine(params, seed=config.seed)
     times = {}
 
     def on_ping(ctx, packet):
@@ -311,7 +359,7 @@ def _validation_micro() -> Dict[str, Dict[str, float]]:
     }
 
     # Barrier release latency.
-    bar_machine = MpMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    bar_machine = MpMachine(params, seed=config.seed)
     release = {}
 
     def barrier_program(ctx):
@@ -326,7 +374,7 @@ def _validation_micro() -> Dict[str, Dict[str, float]]:
     }
 
     # Shared memory: remote miss to idle data (the paper's ~250 cycles).
-    sm_machine = SmMachine(MachineParams.paper(num_processors=2), seed=_SEED)
+    sm_machine = SmMachine(params, seed=config.seed)
     miss = {}
 
     def sm_program(ctx):
@@ -421,6 +469,21 @@ def _collectives_shape(totals: Dict[str, float]) -> List[ShapeCheck]:
     ]
 
 
+def _contention_scaling_shape(results: Dict[int, Dict[str, float]]) -> List[ShapeCheck]:
+    procs = sorted(results)
+    delays = [results[p]["queue_delay"] for p in procs]
+    costs = [results[p]["miss_cost"] for p in procs]
+    return [
+        _check("queue delay grows with the machine",
+               delays[0] < delays[-1],
+               f"{delays[0]:.0f} -> {delays[-1]:.0f} cycles over {procs} procs"),
+        _check("per-miss cost grows with the machine",
+               costs[0] < costs[-1],
+               f"{costs[0]:.0f} -> {costs[-1]:.0f} cycles (paper: ~700 "
+               "contended vs ~250 idle at 32 procs)"),
+    ]
+
+
 def _em3d_shape(pair: PairResult) -> List[ShapeCheck]:
     sm = pair.sm_breakdown()
     rel = pair.sm_relative_to_mp
@@ -476,6 +539,29 @@ def _em3d_localalloc_shape(pair: PairResult) -> List[ShapeCheck]:
         _check("main loop faster", local_total < base_total,
                f"{local_total / 1e6:.2f}M vs {base_total / 1e6:.2f}M "
                "(paper: 86.3M vs 130.0M, ~2/3)"),
+    ]
+
+
+def _em3d_protocols_shape(results: Dict[str, Any]) -> List[ShapeCheck]:
+    mp_main = results["mp"].board.mean_total(phase="main")
+    ratios = {
+        variant: results[variant].board.mean_total(phase="main") / mp_main
+        for variant in ("base", "flush", "update")
+    }
+    base_invals = results["base"].board.mean_count(
+        "invalidations_received", phase="main"
+    )
+    flush_invals = results["flush"].board.mean_count(
+        "invalidations_received", phase="main"
+    )
+    return [
+        _check("flush cuts invalidations", flush_invals < 0.5 * base_invals,
+               f"{flush_invals:.0f} vs {base_invals:.0f} per processor"),
+        _check("flush does not regress", ratios["flush"] <= ratios["base"] * 1.02,
+               f"SM/MP {ratios['flush']:.2f} vs base {ratios['base']:.2f}"),
+        _check("bulk update closes the gap", ratios["update"] < ratios["base"],
+               f"SM/MP {ratios['update']:.2f} vs base {ratios['base']:.2f} "
+               "(paper: 'performed equivalently with EM3D-MP')"),
     ]
 
 
@@ -541,7 +627,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Tables 4, 5, 6, 7",
             description="Computation-bound boundary-integral code with "
                         "schedule-driven communication.",
-            runner=_mse_pair,
+            runner=run_mse_pair,
+            config=MSE_CONFIG,
             shape=_mse_shape,
             paper={
                 "mp_total_Mcycles": 1241.1, "sm_total_Mcycles": 1267.8,
@@ -557,7 +644,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="Reduction/broadcast-dominated elimination; software "
                         "collectives vs shared-memory broadcast with "
                         "directory contention.",
-            runner=_gauss_pair,
+            runner=run_gauss_pair,
+            config=GAUSS_CONFIG,
             shape=_gauss_shape,
             paper={
                 "mp_total_Mcycles": 71.0, "sm_total_Mcycles": 72.7,
@@ -572,7 +660,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Section 5.2 text (119.3M / 40.9M / 30.1M cycles)",
             description="Flat vs binary-tree vs lop-sided (LogP) broadcast "
                         "and reduction.",
-            runner=_gauss_collectives,
+            runner=run_gauss_collectives,
+            config=GAUSS_COLLECTIVES_CONFIG,
             shape=_collectives_shape,
             paper={"flat_M": 119.3, "binary_M": 40.9, "lopsided_M": 30.1},
         ),
@@ -584,7 +673,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                          "larger systems')",
             description="Fixed problem, growing processor count: queue "
                         "delay and per-miss cost at the directories.",
-            runner=_gauss_contention_scaling,
+            runner=run_gauss_contention,
+            config=GAUSS_CONTENTION_CONFIG,
             shape=_contention_scaling_shape,
             paper={"queue_delay_32p": 200, "contended_miss_32p": 700,
                    "idle_miss": 250},
@@ -595,7 +685,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Tables 12, 13, 14, 15",
             description="Producer-consumer bipartite graph computation: the "
                         "paper's clearest message-passing win.",
-            runner=_em3d_pair,
+            runner=run_em3d_pair,
+            config=EM3D_CONFIG,
             shape=_em3d_shape,
             paper={
                 "mp_total_Mcycles": 86.4, "sm_total_Mcycles": 172.1,
@@ -613,9 +704,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Table 16",
             description="Capacity misses vanish; SM main loop drops below "
                         "MP's in the paper.",
-            runner=lambda: _em3d_pair(cache_bytes=EM3D_BIG_CACHE),
+            runner=run_em3d_pair,
+            config=EM3D_BIGCACHE_CONFIG,
             shape=_em3d_bigcache_shape,
             paper={"sm_main_Mcycles": 61.0, "base_sm_main_Mcycles": 130.0},
+            after=("em3d",),
         ),
         ExperimentSpec(
             id="em3d_localalloc",
@@ -623,9 +716,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Table 17",
             description="Local placement turns remote misses local: "
                         "97% -> 10% remote, main loop to ~2/3.",
-            runner=lambda: _em3d_pair(policy=HomePolicy.LOCAL),
+            runner=run_em3d_pair,
+            config=EM3D_LOCALALLOC_CONFIG,
             shape=_em3d_localalloc_shape,
             paper={"sm_main_Mcycles": 86.3, "remote_fraction": 0.10},
+            after=("em3d",),
         ),
         ExperimentSpec(
             id="em3d_protocols",
@@ -634,7 +729,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="Consumer flushes turn 2-message invalidations "
                         "into 1-message replacements; the bulk-update "
                         "protocol replaces invalidate+miss with one push.",
-            runner=_em3d_protocols,
+            runner=run_em3d_protocols,
+            config=EM3D_PROTOCOLS_CONFIG,
             shape=_em3d_protocols_shape,
             paper={"update_vs_mp": "equivalent (Falsafi et al. [6])"},
             notes="Not a paper table: the paper discusses these fixes and "
@@ -646,7 +742,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             title="Synchronous LCP (LCP-MP vs LCP-SM)",
             paper_tables="Tables 18, 19 and the synchronous columns of 22, 23",
             description="Multi-sweep SOR with per-step solution exchange.",
-            runner=lambda: _lcp_pair(asynchronous=False),
+            runner=run_lcp_pair,
+            config=LCP_CONFIG,
             shape=_lcp_shape,
             paper={
                 "mp_total_Mcycles": 56.8, "sm_total_Mcycles": 66.0,
@@ -660,7 +757,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Tables 20, 21 and the asynchronous columns of 22, 23",
             description="Publish-every-sweep variant: fewer steps, far more "
                         "communication.",
-            runner=lambda: _lcp_pair(asynchronous=True),
+            runner=run_lcp_pair,
+            config=ALCP_CONFIG,
             shape=_alcp_shape,
             paper={
                 "mp_total_Mcycles": 92.7, "sm_total_Mcycles": 98.7,
@@ -671,6 +769,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                   "proportionally faster than in the paper, so total time "
                   "does not regress; per-step traffic and the intensity "
                   "collapse reproduce.",
+            after=("lcp",),
         ),
         ExperimentSpec(
             id="validation",
@@ -678,7 +777,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_tables="Section 4.1 (simulator within 14-27% of a CM-5)",
             description="Measured primitive latencies vs their analytic "
                         "compositions of the Table 1-3 costs.",
-            runner=_validation_micro,
+            runner=run_validation_micro,
+            config=VALIDATION_CONFIG,
             shape=_validation_shape,
             paper={"tolerance": 0.27},
         ),

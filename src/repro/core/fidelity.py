@@ -6,6 +6,11 @@ the paper's tables (:mod:`repro.core.paper_data`), reporting absolute
 errors in percentage points. ``python -m repro fidelity`` prints the
 scorecard.
 
+Built on the runner harness: the shares come from each pair's
+serializable :class:`~repro.runner.record.RunRecord` summary, so a
+warm on-disk cache serves the whole scorecard without a single
+simulation.
+
 This is the reproduction's honest self-assessment: a share error of a
 few points means the scaled run tells the paper's story; tens of points
 would mean it does not. The EM3D SM/MP ratio is the known soft spot
@@ -15,11 +20,12 @@ would mean it does not. The EM3D SM/MP ratio is the known soft spot
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core import paper_data
-from repro.core.experiments import run_experiment
-from repro.core.study import PairResult
+from repro.runner.api import record_for
+from repro.runner.cache import ResultCache
+from repro.runner.record import RunRecord
 
 #: experiment id -> paper_data key for the pair experiments.
 PAIR_KEYS = {
@@ -50,48 +56,60 @@ def _share(part: float, whole: float) -> float:
     return 100.0 * part / whole if whole else 0.0
 
 
-def assess_pair(exp_id: str) -> List[FidelityRow]:
-    """Fidelity rows for one application pair."""
+def assess_pair(
+    exp_id: str,
+    record: Optional[RunRecord] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[FidelityRow]:
+    """Fidelity rows for one application pair.
+
+    Works from the experiment's run record (cached or freshly run);
+    pass ``record`` to score an already-available result.
+    """
     key = PAIR_KEYS[exp_id]
-    pair: PairResult = run_experiment(exp_id)
+    if record is None:
+        record = record_for(exp_id, cache=cache)
+    summary = record.summary
+    if summary.get("kind") != "pair":
+        raise ValueError(f"{exp_id} is not a pair experiment")
     paper_mp = paper_data.MP_BREAKDOWNS[key]
     paper_sm = paper_data.SM_BREAKDOWNS[key]
-    mine_mp = pair.mp_breakdown()
-    mine_sm = pair.sm_breakdown()
+    mine_mp = summary["mp"]["overall"]
+    mine_sm = summary["sm"]["overall"]
     rows = [
         FidelityRow(exp_id, "MP computation share",
                     _share(paper_mp.computation, paper_mp.total),
-                    _share(mine_mp.computation, mine_mp.total)),
+                    _share(mine_mp["computation"], mine_mp["total"])),
         FidelityRow(exp_id, "MP local-miss share",
                     _share(paper_mp.local_misses, paper_mp.total),
-                    _share(mine_mp.local_misses, mine_mp.total)),
+                    _share(mine_mp["local_misses"], mine_mp["total"])),
         FidelityRow(exp_id, "MP communication share",
                     _share(paper_mp.communication, paper_mp.total),
-                    _share(mine_mp.communication, mine_mp.total)),
+                    _share(mine_mp["communication"], mine_mp["total"])),
         FidelityRow(exp_id, "SM computation share",
                     _share(paper_sm.computation, paper_sm.total),
-                    _share(mine_sm.computation, mine_sm.total)),
+                    _share(mine_sm["computation"], mine_sm["total"])),
         FidelityRow(exp_id, "SM data-access share",
                     _share(paper_sm.cache_misses, paper_sm.total),
-                    _share(mine_sm.data_access, mine_sm.total)),
+                    _share(mine_sm["data_access"], mine_sm["total"])),
         FidelityRow(exp_id, "SM synchronization share",
                     _share(paper_sm.synchronization, paper_sm.total),
-                    _share(mine_sm.synchronization, mine_sm.total)),
+                    _share(mine_sm["synchronization"], mine_sm["total"])),
     ]
     if paper_mp.relative_to_sm is not None:
         rows.append(
             FidelityRow(exp_id, "MP relative to SM",
                         100.0 * paper_mp.relative_to_sm,
-                        100.0 * pair.mp_relative_to_sm)
+                        100.0 * summary["mp_relative_to_sm"])
         )
     return rows
 
 
-def assess_all() -> List[FidelityRow]:
+def assess_all(cache: Optional[ResultCache] = None) -> List[FidelityRow]:
     """Fidelity rows for every pair experiment, in registry order."""
     rows: List[FidelityRow] = []
     for exp_id in PAIR_KEYS:
-        rows.extend(assess_pair(exp_id))
+        rows.extend(assess_pair(exp_id, cache=cache))
     return rows
 
 

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk result cache.
+
+Records live as JSON files under ``.repro_cache/`` (overridable with
+the ``REPRO_CACHE_DIR`` environment variable or an explicit path).
+The key is a SHA-256 digest of
+
+* the experiment id,
+* the **full** canonical configuration — workload config, seed,
+  processor count, and the resolved machine parameters, so a change to
+  any Table 1-3 default invalidates dependent results, and
+* a code-version salt (:data:`CODE_SALT` plus the package version),
+  bumped whenever simulator changes make old cycle counts stale.
+
+A cache hit returns the stored :class:`~repro.runner.record.RunRecord`
+with ``cached=True``; nothing is ever re-simulated to serve a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.runner.config import ExperimentConfig
+from repro.runner.record import RECORD_SCHEMA, RunRecord
+
+#: Bump manually when simulator semantics change (cycle counts move).
+CODE_SALT = "repro-runner-v1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def cache_key(config: ExperimentConfig) -> str:
+    """The content address of one experiment configuration."""
+    from repro import __version__
+
+    payload = {
+        "salt": CODE_SALT,
+        "version": __version__,
+        "schema": RECORD_SCHEMA,
+        "config": config.to_jsonable(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON records keyed by :func:`cache_key`, one file per run."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(
+            directory
+            if directory is not None
+            else os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR)
+        )
+
+    def _path(self, exp_id: str, key: str) -> Path:
+        return self.directory / f"{exp_id}-{key[:16]}.json"
+
+    def load(self, config: ExperimentConfig) -> Optional[RunRecord]:
+        """The stored record for this exact configuration, or ``None``."""
+        key = cache_key(config)
+        path = self._path(config.exp_id, key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("cache_key") != key or data.get("schema") != RECORD_SCHEMA:
+            return None
+        record = RunRecord.from_jsonable(data)
+        record.cached = True
+        return record
+
+    def store(self, record: RunRecord) -> Path:
+        """Persist one record; atomic enough for concurrent writers."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(record.exp_id, record.cache_key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record.to_jsonable(), indent=1, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def entries(self) -> Iterator[Tuple[Path, RunRecord]]:
+        """All readable records, oldest first."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(
+            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+        ):
+            try:
+                data = json.loads(path.read_text())
+                yield path, RunRecord.from_jsonable(data)
+            except (OSError, json.JSONDecodeError, TypeError):
+                continue
+
+    def ls(self) -> List[str]:
+        """Human-readable listing lines for ``repro cache ls``."""
+        lines = []
+        for path, record in self.entries():
+            size_kb = path.stat().st_size / 1024.0
+            status = "ok" if record.all_ok else "FAIL"
+            lines.append(
+                f"{record.exp_id:<18} {record.cache_key[:12]}  "
+                f"{record.elapsed_seconds:7.1f}s  {size_kb:6.1f}KB  "
+                f"checks:{status}  {path.name}"
+            )
+        return lines
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,131 @@
+"""Frozen, picklable experiment configurations.
+
+Every experiment runner is a top-level ``Callable[[ExperimentConfig],
+Any]``: a pure function of an explicit configuration rather than a
+zero-argument closure over module globals. That makes runs
+
+* **parameterizable** — sweeps replace fields with
+  :meth:`ExperimentConfig.with_overrides` instead of editing module
+  constants;
+* **picklable** — worker processes receive the config, not a closure;
+* **content-addressable** — :meth:`ExperimentConfig.to_jsonable`
+  canonicalizes the full configuration (including the resolved
+  :class:`~repro.arch.params.MachineParams`) for the cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, is_dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.arch.params import MachineParams
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete parameterization of one experiment run.
+
+    ``app`` is the application workload config (``MseConfig``,
+    ``GaussConfig``, ...) or ``None`` for experiments without one.
+    ``options`` holds experiment-specific knobs as a sorted tuple of
+    ``(name, value)`` pairs so the config stays hashable and frozen;
+    values must be JSON-representable (str/int/float/bool or tuples
+    thereof).
+    """
+
+    exp_id: str
+    procs: int = 8
+    seed: int = 1994
+    cache_bytes: Optional[int] = None
+    app: Any = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "options", tuple(sorted((str(k), v) for k, v in self.options))
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    def opt(self, name: str, default: Any = None) -> Any:
+        """One experiment-specific option, or ``default``."""
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def options_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+    def machine_params(self, procs: Optional[int] = None) -> MachineParams:
+        """The resolved machine for this run (paper's Tables 1-3 base)."""
+        params = MachineParams.paper(num_processors=procs or self.procs)
+        if self.cache_bytes is not None:
+            params = params.with_cache_bytes(self.cache_bytes)
+        return params
+
+    # -- overrides ---------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentConfig":
+        """A copy with some fields replaced (the sweep entry point).
+
+        Top-level field names (``procs``, ``seed``, ``cache_bytes``)
+        replace directly. ``app`` accepts either a full replacement
+        config or a mapping of app-config fields to replace.
+        ``options`` accepts a mapping merged over the existing options.
+        """
+        changes: Dict[str, Any] = {}
+        for name, value in overrides.items():
+            if name == "app" and isinstance(value, Mapping):
+                if self.app is None:
+                    raise ValueError(f"{self.exp_id} has no app config to override")
+                changes["app"] = replace(self.app, **value)
+            elif name == "options":
+                merged = dict(self.options)
+                merged.update(value)
+                changes["options"] = tuple(sorted(merged.items()))
+            elif name in {f.name for f in fields(self)}:
+                changes[name] = value
+            else:
+                raise KeyError(
+                    f"unknown override {name!r} for {self.exp_id}; "
+                    f"fields: {[f.name for f in fields(self)]}"
+                )
+        return replace(self, **changes)
+
+    # -- canonicalization --------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A canonical, JSON-safe dict of the *full* configuration.
+
+        Includes the resolved machine parameters so that a change to
+        any Table 1-3 default invalidates cached results even without
+        a code-salt bump.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "procs": self.procs,
+            "seed": self.seed,
+            "cache_bytes": self.cache_bytes,
+            "app": _jsonable(self.app),
+            "options": _jsonable(dict(self.options)),
+            "machine": asdict(self.machine_params()),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert configs to JSON-safe structures."""
+    if is_dataclass(value) and not isinstance(value, type):
+        out = {"__type__": type(value).__name__}
+        out.update({k: _jsonable(v) for k, v in asdict(value).items()})
+        return out
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"config value {value!r} ({type(value).__name__}) is not JSON-safe"
+    )

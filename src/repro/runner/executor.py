@@ -1,0 +1,125 @@
+"""Multiprocessing fan-out over independent experiments.
+
+The paper's evaluation is embarrassingly parallel: each experiment is
+an independent pair of machine simulations. The executor partitions
+the requested experiments into *groups* that must share a process —
+an experiment whose shape checks compare against a baseline run (its
+spec's ``after`` tuple, e.g. ``em3d_bigcache`` against ``em3d``) runs
+in the same worker as that baseline so the in-process memo serves the
+comparison — and fans the groups out over worker processes.
+
+Workers are started with the ``spawn`` method: each one imports the
+package fresh, so no parent in-process state can leak into a worker
+run. Determinism is preserved — every simulation is a pure function of
+its seeded :class:`~repro.runner.config.ExperimentConfig`, so a worker
+run produces bit-identical cycle counts to an in-process run (the
+test suite asserts this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.record import RunRecord
+
+#: One unit of worker work: (exp_id, overrides-or-None).
+WorkItem = Tuple[str, Optional[Mapping[str, Any]]]
+
+
+def default_jobs() -> int:
+    """The default ``--jobs``: every core the scheduler gives us."""
+    return os.cpu_count() or 1
+
+
+def group_root(exp_id: str) -> str:
+    """The transitive baseline an experiment's checks depend on."""
+    from repro.core.experiments import get_experiment
+
+    seen = set()
+    current = exp_id
+    while True:
+        spec = get_experiment(current)
+        if not spec.after or current in seen:
+            return current
+        seen.add(current)
+        current = spec.after[0]
+
+
+def plan_groups(items: Sequence[WorkItem]) -> List[List[WorkItem]]:
+    """Partition work into process-affine groups, registry order kept.
+
+    Experiments with a common dependency root share a group (and thus
+    a worker's in-process memo); everything else is its own group.
+    """
+    from repro.core.experiments import EXPERIMENTS
+
+    order = {exp_id: i for i, exp_id in enumerate(EXPERIMENTS)}
+    groups: Dict[str, List[WorkItem]] = {}
+    for item in items:
+        groups.setdefault(group_root(item[0]), []).append(item)
+    planned = [
+        sorted(group, key=lambda item: order.get(item[0], len(order)))
+        for group in groups.values()
+    ]
+    planned.sort(key=lambda group: order.get(group[0][0], len(order)))
+    return planned
+
+
+def run_group(items: Sequence[WorkItem]) -> List[RunRecord]:
+    """Run one group serially in this process; the worker entry point.
+
+    Must stay a top-level function: it is pickled by name when shipped
+    to a spawned worker.
+    """
+    from repro.core.experiments import get_experiment
+    from repro.runner.api import resolve_config, run_raw
+    from repro.runner.record import build_record
+
+    records: List[RunRecord] = []
+    for exp_id, overrides in items:
+        spec = get_experiment(exp_id)
+        config = resolve_config(exp_id, overrides)
+        start = time.perf_counter()
+        result = run_raw(exp_id, overrides)
+        record = build_record(spec, config, result, time.perf_counter() - start)
+        records.append(record)
+    return records
+
+
+def run_parallel(
+    groups: Sequence[Sequence[WorkItem]],
+    jobs: int,
+    progress=None,
+) -> List[RunRecord]:
+    """Fan groups out over ``jobs`` spawned worker processes.
+
+    Results are reported to ``progress`` as each group completes;
+    the returned list is unordered (callers re-index by exp_id).
+    """
+    records: List[RunRecord] = []
+    if jobs <= 1:
+        for group in groups:
+            batch = run_group(group)
+            records.extend(batch)
+            if progress is not None:
+                for record in batch:
+                    progress(record)
+        return records
+
+    context = multiprocessing.get_context("spawn")
+    workers = min(jobs, len(groups))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        pending = {pool.submit(run_group, list(group)) for group in groups}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                batch = future.result()  # propagate worker failures
+                records.extend(batch)
+                if progress is not None:
+                    for record in batch:
+                        progress(record)
+    return records

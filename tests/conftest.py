@@ -1,0 +1,14 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    Keeps test runs from reading or polluting a developer's
+    ``.repro_cache/`` in the working directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+    yield

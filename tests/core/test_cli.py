@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core import experiments
+from repro.runner.api import clear_memory_cache
+from repro.runner.config import ExperimentConfig
 
 
 def test_list_command(capsys):
@@ -16,18 +21,80 @@ def test_run_requires_experiments(capsys):
     assert main(["run"]) == 2
 
 
-def test_run_unknown_experiment_fails_fast():
-    with pytest.raises(KeyError):
-        main(["run", "nope"])
+def test_run_unknown_experiment_fails_fast(capsys):
+    assert main(["run", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'nope'" in err
 
 
 def test_run_validation(capsys):
-    assert main(["run", "validation"]) == 0
+    assert main(["run", "validation", "--jobs", "1"]) == 0
     out = capsys.readouterr().out
     assert "[PASS]" in out
     assert "Section 4.1" in out
 
 
+def test_run_serves_second_invocation_from_cache(capsys):
+    assert main(["run", "validation", "--jobs", "1"]) == 0
+    capsys.readouterr()
+    clear_memory_cache()
+    assert main(["run", "validation", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "(cache hit)" in out
+    assert "[PASS]" in out
+
+
+def test_run_json_export(tmp_path, capsys):
+    out_path = tmp_path / "records.json"
+    assert main(["run", "validation", "--jobs", "1", "--json", str(out_path)]) == 0
+    records = json.loads(out_path.read_text())
+    assert len(records) == 1
+    assert records[0]["exp_id"] == "validation"
+    assert records[0]["checks"]
+    assert all(ok for _n, ok, _d in records[0]["checks"])
+    assert records[0]["cache_key"]
+
+
+def test_run_failing_checks_exit_code(monkeypatch, capsys):
+    spec = experiments.ExperimentSpec(
+        id="fake_fail",
+        title="always fails",
+        paper_tables="none",
+        description="test-only",
+        runner=lambda config: {"v": 1},
+        config=ExperimentConfig(exp_id="fake_fail"),
+        shape=lambda r: [("doomed", False, "intentional")],
+        paper={"n/a": 0},
+    )
+    monkeypatch.setitem(experiments.EXPERIMENTS, "fake_fail", spec)
+    clear_memory_cache()
+    assert main(["run", "fake_fail", "--jobs", "1", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "[FAIL] doomed" in out
+    clear_memory_cache()
+
+
+def test_cache_ls_and_clear(capsys):
+    assert main(["cache", "ls"]) == 0
+    assert "cache empty" in capsys.readouterr().out
+    assert main(["run", "validation", "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "ls"]) == 0
+    assert "validation" in capsys.readouterr().out
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1 records" in capsys.readouterr().out
+    assert main(["cache", "ls"]) == 0
+    assert "cache empty" in capsys.readouterr().out
+
+
 def test_parser_rejects_no_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_parser_run_flags():
+    args = build_parser().parse_args(
+        ["run", "--all", "--jobs", "4", "--json", "out.json", "--force"]
+    )
+    assert args.all and args.jobs == 4 and args.json == "out.json"
+    assert args.force and not args.no_cache

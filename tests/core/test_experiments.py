@@ -4,10 +4,11 @@ import pytest
 
 from repro.core.experiments import (
     EXPERIMENTS,
-    clear_cache,
     get_experiment,
     run_experiment,
 )
+from repro.runner.api import clear_memory_cache
+from repro.runner.config import ExperimentConfig
 
 EXPECTED_IDS = {
     "mse",
@@ -37,7 +38,23 @@ def test_specs_are_complete():
         assert spec.description
         assert callable(spec.runner)
         assert callable(spec.shape)
+        assert isinstance(spec.config, ExperimentConfig)
+        assert spec.config.exp_id == spec.id
         assert spec.paper, f"{spec.id} has no paper reference values"
+
+
+def test_runners_are_top_level_functions():
+    """Runners must be picklable by name for the multiprocessing pool."""
+    for spec in EXPERIMENTS.values():
+        assert spec.runner.__qualname__ == spec.runner.__name__, (
+            f"{spec.id}'s runner is not a module-level function"
+        )
+
+
+def test_after_references_are_valid():
+    for spec in EXPERIMENTS.values():
+        for dep in spec.after:
+            assert dep in EXPERIMENTS, f"{spec.id} depends on unknown {dep!r}"
 
 
 def test_get_experiment_unknown():
@@ -46,7 +63,7 @@ def test_get_experiment_unknown():
 
 
 def test_validation_experiment_runs_and_passes():
-    clear_cache()
+    clear_memory_cache()
     result = run_experiment("validation")
     checks = EXPERIMENTS["validation"].shape(result)
     assert checks
@@ -55,8 +72,8 @@ def test_validation_experiment_runs_and_passes():
 
 
 def test_results_are_memoized():
-    clear_cache()
+    clear_memory_cache()
     first = run_experiment("validation")
     second = run_experiment("validation")
     assert first is second
-    clear_cache()
+    clear_memory_cache()

@@ -1,0 +1,84 @@
+"""Tests for the frozen experiment configurations."""
+
+import pickle
+
+import pytest
+
+from repro.apps.gauss.common import GaussConfig
+from repro.core.experiments import EXPERIMENTS
+from repro.runner.config import ExperimentConfig
+
+
+def test_options_are_sorted_and_frozen():
+    config = ExperimentConfig(
+        exp_id="x", options=(("zeta", 1), ("alpha", 2))
+    )
+    assert config.options == (("alpha", 2), ("zeta", 1))
+    assert config.opt("alpha") == 2
+    assert config.opt("missing", 7) == 7
+    with pytest.raises(Exception):
+        config.procs = 3  # frozen
+
+
+def test_machine_params_resolution():
+    config = ExperimentConfig(exp_id="x", procs=4, cache_bytes=8192)
+    params = config.machine_params()
+    assert params.common.num_processors == 4
+    assert params.common.cache_bytes == 8192
+    # No cache override -> the paper's default.
+    default = ExperimentConfig(exp_id="x", procs=4).machine_params()
+    assert default.common.cache_bytes == 256 * 1024
+    # An explicit processor count wins (the contention sweep's lever).
+    assert config.machine_params(procs=16).common.num_processors == 16
+
+
+def test_with_overrides_top_level():
+    base = EXPERIMENTS["gauss"].config
+    swept = base.with_overrides({"procs": 4, "seed": 7})
+    assert (swept.procs, swept.seed) == (4, 7)
+    assert base.procs == 8  # original untouched
+    assert swept.app == base.app
+
+
+def test_with_overrides_app_mapping():
+    base = EXPERIMENTS["gauss"].config
+    swept = base.with_overrides({"app": {"n": 32}})
+    assert swept.app.n == 32
+    assert swept.app.seed == base.app.seed
+    replaced = base.with_overrides({"app": GaussConfig(n=16)})
+    assert replaced.app.n == 16
+
+
+def test_with_overrides_options_merge():
+    base = EXPERIMENTS["lcp"].config
+    swept = base.with_overrides({"options": {"asynchronous": True}})
+    assert swept.opt("asynchronous") is True
+    assert base.opt("asynchronous") is False
+
+
+def test_with_overrides_unknown_key_rejected():
+    with pytest.raises(KeyError):
+        EXPERIMENTS["gauss"].config.with_overrides({"nope": 1})
+
+
+def test_app_override_without_app_rejected():
+    with pytest.raises(ValueError):
+        EXPERIMENTS["validation"].config.with_overrides({"app": {"n": 1}})
+
+
+def test_configs_are_picklable():
+    for spec in EXPERIMENTS.values():
+        clone = pickle.loads(pickle.dumps(spec.config))
+        assert clone == spec.config
+
+
+def test_to_jsonable_includes_machine_params():
+    data = EXPERIMENTS["em3d"].config.to_jsonable()
+    assert data["machine"]["common"]["cache_bytes"] == 16 * 1024
+    assert data["app"]["__type__"] == "Em3dConfig"
+    assert data["seed"] == 1994
+
+
+def test_registry_configs_match_ids():
+    for exp_id, spec in EXPERIMENTS.items():
+        assert spec.config.exp_id == exp_id
