@@ -1,0 +1,33 @@
+"""Kernel throughput microbenchmarks (pytest-benchmark wrapper).
+
+The same suite ``repro bench`` runs from the command line, exposed to
+pytest-benchmark so ``pytest benchmarks/bench_kernel.py`` produces its
+comparison tables. The committed ``BENCH_kernel.json`` at the repo root
+is the CI regression baseline; regenerate it with::
+
+    python -m repro bench --json BENCH_kernel.json
+"""
+
+from repro import bench
+
+from benchmarks.helpers import banner
+
+
+def test_kernel_microbench(benchmark):
+    document = benchmark.pedantic(
+        lambda: bench.run_benchmarks(quick=True, apps=False, log=lambda _m: None),
+        rounds=1,
+        iterations=1,
+    )
+    kernel = document["kernel"]
+    print(banner("Kernel microbenchmarks (quick sizes)"))
+    for row in kernel["benches"]:
+        print(f"{row['name']:>12}: {row['events']:>7} events  "
+              f"{row['seconds']:.3f}s  {row['events_per_sec']:>9} ev/s")
+    print(f"{'KERNEL':>12}: {kernel['events']:>7} events  "
+          f"{kernel['seconds']:.3f}s  {kernel['events_per_sec']:>9} ev/s")
+    hot = kernel["cache_hot"]
+    print(f"{'cache_hot':>12}: {hot['ops']:>7} ops     "
+          f"{hot['seconds']:.3f}s  {hot['ops_per_sec']:>9} op/s")
+    assert kernel["events"] > 0
+    assert kernel["events_per_sec"] > 0

@@ -4,6 +4,13 @@ One structure serves both machines. The message-passing machine only
 uses INVALID/PRESENT-style occupancy for local data; the shared-memory
 machine additionally distinguishes SHARED (read-only) from EXCLUSIVE
 (writable, dirty) lines for the Dir_nNB protocol.
+
+Lookups are the simulator's single hottest operation (every simulated
+block access probes the cache, and the overwhelming majority hit), so
+the resident state is mirrored in one flat ``block_addr -> state`` dict:
+a hit is a single dict probe plus a counter bump. The per-set dicts
+remain the authority for occupancy and victim choice; both structures
+are updated together on the (rare) insert/invalidate paths.
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ class LineState(enum.Enum):
     INVALID = 0
     SHARED = 1  # read-only copy
     EXCLUSIVE = 2  # writable and dirty
+
+
+_INVALID = LineState.INVALID
 
 
 class CacheError(RuntimeError):
@@ -52,6 +62,8 @@ class Cache:
         self._rng = rng
         # Per set: dict block_addr -> LineState (len <= assoc).
         self._sets: List[Dict[int, LineState]] = [{} for _ in range(self.num_sets)]
+        # Flat mirror of every resident line (the hit fast path).
+        self._lines: Dict[int, LineState] = {}
         self.on_evict: Optional[Callable[[int, LineState], None]] = None
         # Instrumentation.
         self.hits = 0
@@ -68,8 +80,12 @@ class Cache:
 
     def lookup(self, block_addr: int) -> LineState:
         """State of the block, counting a hit or miss."""
-        state = self.peek(block_addr)
-        if state is LineState.INVALID:
+        state = self._lines.get(block_addr, _INVALID)
+        if state is _INVALID:
+            # Only aligned addresses are ever resident, so the alignment
+            # check is needed (and paid) on this branch alone.
+            if block_addr % self.block_bytes != 0:
+                raise CacheError(f"unaligned block address {block_addr:#x}")
             self.misses += 1
         else:
             self.hits += 1
@@ -78,8 +94,7 @@ class Cache:
     def peek(self, block_addr: int) -> LineState:
         """State of the block without touching hit/miss counters."""
         self._aligned(block_addr)
-        line_set = self._sets[self._set_index(block_addr)]
-        return line_set.get(block_addr, LineState.INVALID)
+        return self._lines.get(block_addr, _INVALID)
 
     def insert(
         self, block_addr: int, state: LineState
@@ -95,16 +110,19 @@ class Cache:
         line_set = self._sets[self._set_index(block_addr)]
         if block_addr in line_set:
             line_set[block_addr] = state
+            self._lines[block_addr] = state
             return None
         victim: Optional[Tuple[int, LineState]] = None
         if len(line_set) >= self.assoc:
             candidates = list(line_set.keys())
             victim_addr = candidates[int(self._rng.integers(len(candidates)))]
             victim = (victim_addr, line_set.pop(victim_addr))
+            del self._lines[victim_addr]
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(*victim)
         line_set[block_addr] = state
+        self._lines[block_addr] = state
         return victim
 
     def set_state(self, block_addr: int, state: LineState) -> None:
@@ -116,18 +134,23 @@ class Cache:
         if state is LineState.INVALID:
             raise CacheError("use invalidate() to remove a line")
         line_set[block_addr] = state
+        self._lines[block_addr] = state
 
     def invalidate(self, block_addr: int) -> LineState:
         """Remove a line; returns its prior state (INVALID if absent)."""
         self._aligned(block_addr)
         line_set = self._sets[self._set_index(block_addr)]
-        return line_set.pop(block_addr, LineState.INVALID)
+        prior = line_set.pop(block_addr, _INVALID)
+        if prior is not _INVALID:
+            del self._lines[block_addr]
+        return prior
 
     def resident_blocks(self) -> int:
         """Total lines currently valid (for tests and sanity checks)."""
-        return sum(len(s) for s in self._sets)
+        return len(self._lines)
 
     def flush(self) -> None:
         """Drop every line without eviction callbacks (test helper)."""
         for line_set in self._sets:
             line_set.clear()
+        self._lines.clear()

@@ -10,6 +10,8 @@ Commands:
 * ``python -m repro run --all --jobs 4 --json out.json`` — the full
   evaluation section, fanned out over 4 worker processes, records
   exported as JSON;
+* ``python -m repro bench --json BENCH_kernel.json`` — the kernel
+  benchmark suite, with an optional ``--baseline`` regression gate;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
   inspect or drop the on-disk result cache;
 * ``python -m repro fidelity`` — the paper-vs-run scorecard.
@@ -125,6 +127,37 @@ def cmd_fidelity(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    print("running kernel benchmarks...", file=sys.stderr, flush=True)
+    document = bench.run_benchmarks(quick=args.quick, apps=not args.no_apps)
+    rate = document["kernel"]["events_per_sec"]
+    print(f"kernel aggregate: {rate} events/sec")
+
+    if args.json:
+        try:
+            Path(args.json).write_text(json.dumps(document, indent=1, sort_keys=True))
+        except OSError as exc:
+            print(f"repro bench: error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote benchmark results to {args.json}", file=sys.stderr)
+
+    if args.baseline:
+        baseline = bench.load_baseline(args.baseline)
+        if baseline is None:
+            print(f"no baseline at {args.baseline}; skipping regression gate")
+            return 0
+        ok, message = bench.compare(document, baseline, threshold=args.threshold)
+        print(message)
+        if not ok:
+            print("benchmark regression gate FAILED", file=sys.stderr)
+            return 1
+        print("benchmark regression gate passed")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.cache_command == "ls":
@@ -171,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--force", action="store_true",
                             help="re-simulate even on a cache hit")
     run_parser.set_defaults(handler=cmd_run)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="kernel/microbenchmark suite with regression gate"
+    )
+    bench_parser.add_argument("--json", metavar="PATH",
+                              help="write results (BENCH_kernel.json format)")
+    bench_parser.add_argument("--baseline", metavar="PATH",
+                              help="compare against a committed baseline; "
+                                   "missing file skips the gate")
+    bench_parser.add_argument("--threshold", type=float, default=0.75,
+                              metavar="RATIO",
+                              help="fail below RATIO x baseline events/sec "
+                                   "(default: 0.75)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller iteration counts (CI smoke)")
+    bench_parser.add_argument("--no-apps", action="store_true",
+                              help="skip the end-to-end app timings")
+    bench_parser.set_defaults(handler=cmd_bench)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

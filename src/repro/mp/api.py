@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
+from repro.arch.cache import LineState
 from repro.memory.dataspace import Region
 from repro.mp.netiface import Packet
 from repro.sim.events import SimEvent
@@ -87,30 +88,40 @@ class MpContext:
     # -- local memory -------------------------------------------------------
 
     def _touch_range(self, region: Region, lo: int, hi: int, write: bool) -> int:
-        """Simulate cache/TLB traffic for elements [lo, hi); returns stall cycles."""
-        from repro.arch.cache import LineState
+        """Simulate cache/TLB traffic for elements [lo, hi); returns stall cycles.
 
+        This loop (with its twin in :meth:`read_gather`) runs once per
+        simulated block access, so attribute lookups are hoisted out of it.
+        """
         common = self.params.common
         addr_range = region.range_of(lo, hi)
         stall = 0
         misses = 0
+        tlb_access = self.tlb.access
+        stats_count = self.stats.count
+        tlb_miss_cycles = common.tlb_miss_cycles
         for page in addr_range.pages(common.page_bytes):
-            if not self.tlb.access(page):
-                stall += common.tlb_miss_cycles
-                self.stats.count("tlb_misses")
+            if not tlb_access(page):
+                stall += tlb_miss_cycles
+                stats_count("tlb_misses")
         target_state = LineState.EXCLUSIVE if write else LineState.SHARED
+        cache = self.cache
+        lookup = cache.lookup
+        invalid = LineState.INVALID
+        exclusive = LineState.EXCLUSIVE
+        miss_cycles = common.local_miss_total_cycles
         for block in addr_range.blocks(common.block_bytes):
-            state = self.cache.lookup(block)
-            if state is LineState.INVALID:
+            state = lookup(block)
+            if state is invalid:
                 misses += 1
-                stall += common.local_miss_total_cycles
-                victim = self.cache.insert(block, target_state)
-                if victim is not None and victim[1] is LineState.EXCLUSIVE:
+                stall += miss_cycles
+                victim = cache.insert(block, target_state)
+                if victim is not None and victim[1] is exclusive:
                     stall += self.params.mp.replacement_cycles
-            elif write and state is not LineState.EXCLUSIVE:
-                self.cache.set_state(block, LineState.EXCLUSIVE)
+            elif write and state is not exclusive:
+                cache.set_state(block, exclusive)
         if misses:
-            self.stats.count("local_misses", misses)
+            stats_count("local_misses", misses)
         return stall
 
     def read(self, region: Region, lo: int = 0, hi: Optional[int] = None) -> Generator:
@@ -146,24 +157,31 @@ class MpContext:
 
     def read_gather(self, region: Region, indices: Sequence[int]) -> Generator:
         """Indexed read: touches the unique blocks under ``indices``."""
-        from repro.arch.cache import LineState
-
         common = self.params.common
         stall = 0
         misses = 0
+        tlb_access = self.tlb.access
+        stats_count = self.stats.count
+        cache = self.cache
+        lookup = cache.lookup
+        invalid = LineState.INVALID
+        shared = LineState.SHARED
+        exclusive = LineState.EXCLUSIVE
+        tlb_miss_cycles = common.tlb_miss_cycles
+        miss_cycles = common.local_miss_total_cycles
         for block in region.block_addrs_of_indices(indices):
             block = int(block)
-            if not self.tlb.access(block):
-                stall += common.tlb_miss_cycles
-                self.stats.count("tlb_misses")
-            if self.cache.lookup(block) is LineState.INVALID:
+            if not tlb_access(block):
+                stall += tlb_miss_cycles
+                stats_count("tlb_misses")
+            if lookup(block) is invalid:
                 misses += 1
-                stall += common.local_miss_total_cycles
-                victim = self.cache.insert(block, LineState.SHARED)
-                if victim is not None and victim[1] is LineState.EXCLUSIVE:
+                stall += miss_cycles
+                victim = cache.insert(block, shared)
+                if victim is not None and victim[1] is exclusive:
                     stall += self.params.mp.replacement_cycles
         if misses:
-            self.stats.count("local_misses", misses)
+            stats_count("local_misses", misses)
         if stall:
             self.stats.charge(MpCat.LOCAL_MISS, stall)
             yield Delay(stall)

@@ -38,9 +38,11 @@ class SimEvent:
             raise RuntimeError(f"SimEvent {self.name!r} fired twice")
         self.fired = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Run ``callback(value)`` when the event fires (or now if fired)."""

@@ -11,10 +11,20 @@ as generator subroutines that bottom out in these two commands and are
 composed with ``yield from``. This mirrors how the Wisconsin Wind Tunnel
 interleaves direct execution with simulator callouts, with Python
 generators standing in for instrumented binaries.
+
+Stepping is allocation-free on the hot path: each process owns one bound
+continuation that is handed to the engine for every resume (no per-yield
+lambda), and ``Delay(0)`` / already-fired ``Wait`` commands are stepped
+inline — without a trip through the scheduler — whenever the engine can
+prove the continuation would have been the very next event anyway
+(:meth:`Engine.consume_inline_step`). Event wake-ups always go through
+the scheduler so a wake-up stays its own event, preserving deterministic
+ordering among processes released by the same firing.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.engine import Engine
@@ -68,13 +78,31 @@ class Process:
     the body completes.
     """
 
+    __slots__ = (
+        "engine",
+        "name",
+        "done",
+        "_body",
+        "_crashed",
+        "_cont",
+        "_deliver",
+        "_on_event",
+        "_wake_value",
+    )
+
     def __init__(self, engine: Engine, body: ProcessBody, name: str = "proc") -> None:
         self.engine = engine
         self.name = name
         self.done = SimEvent(name=f"{name}.done")
         self._body = body
         self._crashed: Optional[ProcessCrash] = None
-        engine.schedule(0, lambda: self._step(None))
+        # Bound once; every resume reuses these instead of building a
+        # fresh closure per yield.
+        self._cont = self._step
+        self._deliver = self._deliver_wake
+        self._on_event = self._resume_from_event
+        self._wake_value: Any = None
+        engine._schedule_step(0, self._cont)
 
     @property
     def finished(self) -> bool:
@@ -94,23 +122,51 @@ class Process:
             raise RuntimeError(f"process {self.name!r} has not finished")
         return self.done.value
 
-    def _step(self, value: Any) -> None:
-        try:
-            command = self._body.send(value)
-        except StopIteration as stop:
-            self.done.fire(stop.value)
-            return
-        except Exception as exc:  # noqa: BLE001 - deliberate crash wrapping
-            self._crashed = ProcessCrash(self.name, exc)
-            raise self._crashed from exc
-        self._dispatch(command)
-
-    def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Delay):
-            self.engine.schedule(command.cycles, lambda: self._step(None))
-        elif isinstance(command, Wait):
-            command.event.add_callback(self._resume_from_event)
-        else:
+    def _step(self, value: Any = None) -> None:
+        body_send = self._body.send
+        engine = self.engine
+        cont = self._cont
+        while True:
+            try:
+                command = body_send(value)
+            except StopIteration as stop:
+                self.done.fire(stop.value)
+                return
+            except Exception as exc:  # noqa: BLE001 - deliberate crash wrapping
+                self._crashed = ProcessCrash(self.name, exc)
+                raise self._crashed from exc
+            # Exact-class dispatch: Delay and Wait are final commands (no
+            # subclasses anywhere), and this runs once per simulated
+            # machine cycle, so even one spared isinstance() call shows up.
+            command_cls = command.__class__
+            if command_cls is Delay:
+                # Enqueue the continuation directly (the open-coded body
+                # of Engine._schedule_step).
+                cycles = command.cycles
+                if cycles:
+                    heappush(
+                        engine._heap, (engine._now + cycles, engine._seq, cont)
+                    )
+                    engine._seq += 1
+                    return
+                if not engine._due and engine.consume_inline_step():
+                    value = None
+                    continue
+                engine._due.append(cont)
+                return
+            if command_cls is Wait:
+                event = command.event
+                if event.fired:
+                    if engine.consume_inline_step():
+                        value = event.value
+                        continue
+                    # Open-coded _resume_from_event for the already-fired
+                    # case: park the value and wake on the next step.
+                    self._wake_value = event.value
+                    engine._due.append(self._deliver)
+                    return
+                event._callbacks.append(self._on_event)
+                return
             error = TypeError(
                 f"process {self.name!r} yielded {command!r}; "
                 "only Delay and Wait commands are understood"
@@ -121,5 +177,12 @@ class Process:
     def _resume_from_event(self, value: Any) -> None:
         # Resume via the engine so the wake-up happens as its own event,
         # preserving deterministic ordering among processes released by
-        # the same firing.
-        self.engine.schedule(0, lambda: self._step(value))
+        # the same firing. (A process waits on at most one thing, so one
+        # parked wake value suffices.)
+        self._wake_value = value
+        self.engine._due.append(self._deliver)
+
+    def _deliver_wake(self) -> None:
+        value = self._wake_value
+        self._wake_value = None
+        self._step(value)

@@ -159,37 +159,45 @@ class SmContext:
         shared = region.segment is Segment.SHARED
         private_stall = 0
         private_misses = 0
+        # Hot loop: one iteration per simulated block access. Hoist the
+        # lookups that never change across the range.
+        tlb_access = self.tlb.access
+        lookup = self.cache.lookup
+        set_state = self.cache.set_state
+        invalid = LineState.INVALID
+        exclusive = LineState.EXCLUSIVE
+        miss_cycles = common.local_miss_total_cycles
+        target_state = exclusive if write else LineState.SHARED
+        update_write = write and region.protocol == "update"
         for block in blocks:
             block = int(block)
-            if not tlb_done and not self.tlb.access(block):
+            if not tlb_done and not tlb_access(block):
                 self.stats.count("tlb_misses")
                 self.stats.charge(SmCat.TLB_MISS, common.tlb_miss_cycles)
                 yield Delay(common.tlb_miss_cycles)
-            state = self.cache.lookup(block)
+            state = lookup(block)
             if not shared:
-                if state is LineState.INVALID:
+                if state is invalid:
                     private_misses += 1
-                    private_stall += common.local_miss_total_cycles
-                    private_stall += self._install(
-                        block, LineState.EXCLUSIVE if write else LineState.SHARED
-                    )
-                elif write and state is not LineState.EXCLUSIVE:
-                    self.cache.set_state(block, LineState.EXCLUSIVE)
+                    private_stall += miss_cycles
+                    private_stall += self._install(block, target_state)
+                elif write and state is not exclusive:
+                    set_state(block, exclusive)
                 continue
             # Bulk-update regions (Section 5.3.4 extension): writes are
             # producer-local (values travel by explicit pushes), reads
             # miss through a plain home fetch with no sharer tracking
             # consequences (no invalidations ever target these blocks).
-            if region.protocol == "update" and write:
-                if state is LineState.INVALID:
+            if update_write:
+                if state is invalid:
                     private_misses += 1
-                    private_stall += common.local_miss_total_cycles
-                    private_stall += self._install(block, LineState.EXCLUSIVE)
-                elif state is not LineState.EXCLUSIVE:
-                    self.cache.set_state(block, LineState.EXCLUSIVE)
+                    private_stall += miss_cycles
+                    private_stall += self._install(block, exclusive)
+                elif state is not exclusive:
+                    set_state(block, exclusive)
                 continue
             # Shared segment: protocol work.
-            if state is LineState.INVALID:
+            if state is invalid:
                 if private_stall:
                     # Flush accumulated private stall before the transaction.
                     self.stats.charge(SmCat.PRIVATE_MISS, private_stall)
