@@ -16,7 +16,9 @@ kernel version (useful for before/after comparisons).
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -165,6 +167,34 @@ def _bench_apps(log: Callable[[str], None]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _git_sha() -> Optional[str]:
+    """Short commit SHA of the source tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def platform_meta(quick: bool = False) -> Dict[str, Any]:
+    """Provenance block stored in benchmark JSON: baselines are only
+    comparable between runs taken on the same platform and code."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+        "quick": quick,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     apps: bool = True,
@@ -218,11 +248,7 @@ def run_benchmarks(
             "benches": rows,
             "cache_hot": cache_row,
         },
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "quick": quick,
-        },
+        "meta": platform_meta(quick=quick),
     }
     log(f"  {'KERNEL':<12} {total_events:>8} events  {total_seconds:6.3f}s  "
         f"{total_events / total_seconds:>10.0f} ev/s")
@@ -250,6 +276,15 @@ def compare(
         f"kernel events/sec: current {current_rate} vs baseline {baseline_rate} "
         f"({ratio:.2f}x, floor {threshold:.2f}x)"
     )
+    # Old baselines predate the meta block; only warn when both sides
+    # recorded a platform and they disagree.
+    current_platform = (current.get("meta") or {}).get("platform")
+    baseline_platform = (baseline.get("meta") or {}).get("platform")
+    if baseline_platform and current_platform and baseline_platform != current_platform:
+        message += (
+            f"\nnote: baseline was taken on a different platform "
+            f"({baseline_platform}); the ratio is indicative only"
+        )
     return ratio >= threshold, message
 
 

@@ -12,6 +12,11 @@ Commands:
   exported as JSON;
 * ``python -m repro bench --json BENCH_kernel.json`` — the kernel
   benchmark suite, with an optional ``--baseline`` regression gate;
+* ``python -m repro trace <id> [--out trace.json] [--procs 0-7]
+  [--max-events N]`` — re-run one experiment with the timeline tracer
+  installed, write Chrome Trace Event JSON (Perfetto-loadable), print
+  the ASCII timeline, and attach the trace path to the cached record so
+  later invocations re-render without re-simulating;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
   inspect or drop the on-disk result cache;
 * ``python -m repro fidelity`` — the paper-vs-run scorecard.
@@ -158,6 +163,102 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_procs(text: str) -> List[int]:
+    """Parse a processor set: ``0-7``, ``0,2,5-6`` — for ``--procs``."""
+    procs: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            procs.extend(range(int(lo), int(hi) + 1))
+        else:
+            procs.append(int(part))
+    if not procs:
+        raise ValueError(f"empty processor set {text!r}")
+    return procs
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import time
+
+    from repro import trace
+    from repro.runner.api import resolve_config
+    from repro.runner.cache import cache_key
+    from repro.runner.record import build_record
+    from repro.trace.chrome import to_chrome, validate_chrome_trace
+    from repro.trace.timeline import render_timeline
+
+    try:
+        spec = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(f"repro trace: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    config = resolve_config(args.experiment)
+    key = cache_key(config)
+    cache = ResultCache()
+
+    # A stored trace re-renders without re-simulating, unless the caller
+    # asks for a different slice of the run (or --force).
+    reusable = not args.force and args.procs is None and args.max_events is None
+    if reusable:
+        record = cache.load(config)
+        if record is not None and record.trace_path:
+            path = Path(record.trace_path)
+            if path.exists():
+                doc = json.loads(path.read_text())
+                print(render_timeline(doc))
+                if args.out and Path(args.out) != path:
+                    Path(args.out).write_text(json.dumps(doc))
+                    print(f"\ncopied trace to {args.out}", file=sys.stderr)
+                print(f"\ntrace: {path} (cached; --force re-simulates)")
+                return 0
+
+    tracer = trace.Tracer(procs=args.procs, max_events=args.max_events)
+    trace.install(tracer)
+    start = time.perf_counter()
+    try:
+        result = spec.runner(config)
+    finally:
+        trace.uninstall()
+    elapsed = time.perf_counter() - start
+
+    doc = to_chrome(tracer, meta={"experiment": args.experiment})
+    errors = validate_chrome_trace(doc)
+    if errors:
+        for error in errors:
+            print(f"repro trace: schema error: {error}", file=sys.stderr)
+        return 1
+
+    if args.out:
+        out_path = Path(args.out)
+    else:
+        out_path = cache.directory / "traces" / f"{args.experiment}-{key[:16]}.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        out_path.write_text(json.dumps(doc))
+    except OSError as exc:
+        print(f"repro trace: error: cannot write {out_path}: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_timeline(doc))
+    dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+    print(
+        f"\ntrace: {out_path} "
+        f"({len(doc['traceEvents'])} events{dropped}, ran in {elapsed:.1f}s)"
+    )
+
+    # Attach the trace to the cached record so the next invocation (and
+    # `repro run`) reuse both. Only full traces are worth attaching.
+    if reusable:
+        record = build_record(spec, config, result, elapsed, key=key)
+        record.trace_path = str(out_path)
+        cache.store(record)
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.cache_command == "ls":
@@ -222,6 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--no-apps", action="store_true",
                               help="skip the end-to-end app timings")
     bench_parser.set_defaults(handler=cmd_bench)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one experiment with the timeline tracer; "
+             "emit Chrome Trace JSON + ASCII timeline",
+    )
+    trace_parser.add_argument("experiment", metavar="ID",
+                              help="experiment id (see `list`)")
+    trace_parser.add_argument("--out", metavar="PATH",
+                              help="trace JSON destination (default: "
+                                   "<cache-dir>/traces/<id>-<key>.json)")
+    trace_parser.add_argument("--procs", type=_parse_procs, default=None,
+                              metavar="SET",
+                              help="restrict per-processor records, "
+                                   "e.g. 0-7 or 0,2,5-6 (default: all)")
+    trace_parser.add_argument("--max-events", type=int, default=None,
+                              metavar="N",
+                              help="cap on stored trace records "
+                                   "(default: 250000)")
+    trace_parser.add_argument("--force", action="store_true",
+                              help="re-simulate even when the cached record "
+                                   "already has a trace attached")
+    trace_parser.set_defaults(handler=cmd_trace)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

@@ -26,6 +26,7 @@ from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.stats.categories import MpCat
 from repro.stats.collector import ProcStats, StatsBoard
+from repro import trace
 
 #: Attribution remaps: in library code, computation is Lib Comp and
 #: local misses are Lib Misses (the paper's MP communication breakdown).
@@ -96,6 +97,8 @@ class MpMachine:
             ctx.coll = CollectiveGroup(ctx, strategy=collective_strategy)
         self._finish_times: Dict[int, int] = {}
         self._interrupt_servicers: Dict[int, Process] = {}
+        # No-op unless a tracer is installed (repro.trace).
+        trace.active().attach_mp(self)
 
     def ensure_interrupt_servicer(self, pid: int) -> None:
         """Start the node's interrupt-service process (idempotent)."""

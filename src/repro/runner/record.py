@@ -34,6 +34,10 @@ class RunRecord:
     rendered: str
     summary: Dict[str, Any]
     notes: str = ""
+    #: Path of the Chrome-trace JSON attached by ``repro trace`` ("" when
+    #: the run has never been traced). Additive: from_jsonable defaults
+    #: it for records stored before tracing existed.
+    trace_path: str = ""
     schema: int = RECORD_SCHEMA
     cached: bool = field(default=False, compare=False)
 

@@ -86,6 +86,7 @@ class Engine:
         "_inline",
         "_max_events",
         "events_executed",
+        "dispatch_hook",
     )
 
     def __init__(self) -> None:
@@ -103,6 +104,10 @@ class Engine:
         #: Lifetime count of executed actions across all run() calls
         #: (inline process steps included); benchmarks read this.
         self.events_executed = 0
+        #: Observability hook ``hook(now)`` called after every dispatched
+        #: action. None (the default) keeps run() on the fast loop; the
+        #: tracer sets it, accepting the general loop's bookkeeping cost.
+        self.dispatch_hook: Optional[Callable[[int], None]] = None
 
     @property
     def now(self) -> int:
@@ -176,8 +181,9 @@ class Engine:
         handle_cls = ScheduledAction
         now = self._now
         executed = 0
+        hook = self.dispatch_hook
         try:
-            if until is None and max_events is None:
+            if until is None and max_events is None and hook is None:
                 # Fast loop: the production configuration. Bookkeeping
                 # lives in locals; only time advances touch attributes.
                 while True:
@@ -273,6 +279,8 @@ class Engine:
                         break
                     entry()
                     executed += 1
+                    if hook is not None:
+                        hook(self._now)
         finally:
             self._running = False
             self._max_events = None

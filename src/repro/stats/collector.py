@@ -50,7 +50,19 @@ class ProcStats:
             raise KeyError(f"unknown stats context {name!r}")
         self._context_stack.append(name)
 
-    def pop_context(self) -> None:
+    def pop_context(self, expected: Optional[str] = None) -> None:
+        """Leave the innermost context; ``expected`` catches mismatched nesting."""
+        if not self._context_stack:
+            wanted = f" (expected {expected!r})" if expected is not None else ""
+            raise RuntimeError(
+                f"p{self.pid}: pop_context{wanted} with no context active"
+            )
+        top = self._context_stack[-1]
+        if expected is not None and top != expected:
+            raise RuntimeError(
+                f"p{self.pid}: pop_context expected {expected!r} "
+                f"but innermost context is {top!r}"
+            )
         self._context_stack.pop()
 
     @contextmanager
@@ -60,7 +72,7 @@ class ProcStats:
         try:
             yield
         finally:
-            self.pop_context()
+            self.pop_context(expected=name)
 
     @property
     def active_contexts(self) -> Iterable[str]:
@@ -71,7 +83,19 @@ class ProcStats:
     def push_phase(self, name: str) -> None:
         self._phase_stack.append(name)
 
-    def pop_phase(self) -> None:
+    def pop_phase(self, expected: Optional[str] = None) -> None:
+        """Leave the innermost phase; ``expected`` catches mismatched nesting."""
+        if not self._phase_stack:
+            wanted = f" (expected {expected!r})" if expected is not None else ""
+            raise RuntimeError(
+                f"p{self.pid}: pop_phase{wanted} with no phase active"
+            )
+        top = self._phase_stack[-1]
+        if expected is not None and top != expected:
+            raise RuntimeError(
+                f"p{self.pid}: pop_phase expected {expected!r} "
+                f"but innermost phase is {top!r}"
+            )
         self._phase_stack.pop()
 
     @contextmanager
@@ -80,7 +104,7 @@ class ProcStats:
         try:
             yield
         finally:
-            self.pop_phase()
+            self.pop_phase(expected=name)
 
     @property
     def current_phase(self) -> Optional[str]:

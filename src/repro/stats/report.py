@@ -12,7 +12,7 @@ CountRow = Tuple[str, str, int]
 
 def human_quantity(value: float) -> str:
     """Format counts the way the paper does: 2.4M, 23,590, 774."""
-    if value >= 1e5:
+    if value >= 1e6:
         return f"{value / 1e6:.1f}M"
     if value >= 1000:
         return f"{int(round(value)):,}"

@@ -1,0 +1,239 @@
+"""Chrome Trace Event export and schema validation.
+
+:func:`to_chrome` turns a :class:`~repro.trace.tracer.Tracer` into the
+Chrome Trace Event *JSON object format* — ``{"traceEvents": [...]}`` —
+loadable in Perfetto or ``chrome://tracing``. Simulation cycles are
+written as microsecond timestamps (1 cycle = 1 us), which makes a
+33 MHz target second read as 33.3 "seconds" in the viewer; the mapping
+is recorded in ``otherData.time_unit``.
+
+Event mapping:
+
+* interval records -> ``X`` (complete) events on the processor's cycle
+  track (``tid = pid``), named by category, phase in ``args``;
+* phase / attribution-context push-pop -> ``B``/``E`` duration events on
+  the per-processor phase and context tracks;
+* message and protocol flows -> an ``X`` endpoint slice at each end
+  plus an ``s``/``f`` flow-arrow pair sharing an id;
+* directory arrivals -> ``i`` (instant) events on the directory track;
+* counters -> ``C`` events (one series per processor in ``args``);
+* track naming -> ``M`` metadata events.
+
+:func:`validate_chrome_trace` is the schema check CI runs against
+emitted traces: structural requirements per phase, non-negative
+durations, balanced ``B``/``E`` nesting per track, and ``s``/``f``
+flow pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.trace.tracer import TID_CTX, TID_DIR, TID_NET, TID_PHASE, Tracer
+
+SCHEMA = "repro-trace/1"
+
+#: Chrome Trace Event phases this exporter emits (and the validator allows).
+ALLOWED_PHASES = frozenset({"X", "B", "E", "s", "f", "i", "I", "M", "C"})
+
+
+def to_chrome(tracer: Tracer, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Export every record in ``tracer`` as a Chrome Trace JSON object."""
+    events: List[Dict[str, Any]] = []
+
+    for mi, machine in enumerate(tracer.machines):
+        kind = machine["kind"]
+        events.append(
+            {
+                "ph": "M", "name": "process_name", "pid": mi, "tid": 0,
+                "args": {"name": f"{kind} machine [{machine['label']}]"},
+            }
+        )
+        for pid in range(machine["nprocs"]):
+            if not tracer._traced_pid(pid):
+                continue
+            for tid, track in (
+                (pid, f"p{pid} cycles"),
+                (TID_NET + pid, f"p{pid} network"),
+                (TID_PHASE + pid, f"p{pid} phases"),
+                (TID_CTX + pid, f"p{pid} contexts"),
+            ):
+                events.append(
+                    {
+                        "ph": "M", "name": "thread_name", "pid": mi, "tid": tid,
+                        "args": {"name": track},
+                    }
+                )
+            if kind == "sm":
+                events.append(
+                    {
+                        "ph": "M", "name": "thread_name", "pid": mi,
+                        "tid": TID_DIR + pid, "args": {"name": f"directory {pid}"},
+                    }
+                )
+
+    for mi, pid, label, phase, start, dur in tracer.intervals:
+        events.append(
+            {
+                "ph": "X", "pid": mi, "tid": pid, "ts": start, "dur": dur,
+                "name": label, "cat": "cycles", "args": {"phase": phase},
+            }
+        )
+
+    for mi, tid, name, ph, ts in tracer.marks:
+        cat = "phase" if tid < TID_CTX else "context"
+        events.append(
+            {"ph": ph, "pid": mi, "tid": tid, "ts": ts, "name": name, "cat": cat}
+        )
+
+    for flow_id, (mi, name, src_tid, dst_tid, t0, t1, args) in enumerate(tracer.flows):
+        events.append(
+            {
+                "ph": "X", "pid": mi, "tid": src_tid, "ts": t0, "dur": 1,
+                "name": f"send {name}", "cat": "flow", "args": args,
+            }
+        )
+        events.append(
+            {
+                "ph": "s", "pid": mi, "tid": src_tid, "ts": t0,
+                "id": str(flow_id), "name": name, "cat": "flow",
+            }
+        )
+        events.append(
+            {
+                "ph": "X", "pid": mi, "tid": dst_tid, "ts": t1, "dur": 1,
+                "name": f"recv {name}", "cat": "flow", "args": args,
+            }
+        )
+        events.append(
+            {
+                "ph": "f", "bp": "e", "pid": mi, "tid": dst_tid, "ts": t1,
+                "id": str(flow_id), "name": name, "cat": "flow",
+            }
+        )
+
+    for mi, tid, ts, name, args in tracer.instants:
+        events.append(
+            {
+                "ph": "i", "s": "t", "pid": mi, "tid": tid, "ts": ts,
+                "name": name, "cat": "directory", "args": args,
+            }
+        )
+
+    for mi, ts, name, series, value in tracer.counters:
+        events.append(
+            {
+                "ph": "C", "pid": mi, "tid": 0, "ts": ts, "name": name,
+                "cat": "counter", "args": {series: value},
+            }
+        )
+
+    other: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "time_unit": "1 trace us = 1 simulated cycle",
+        "dropped_events": tracer.dropped,
+        "machines": [
+            {
+                "label": m["label"],
+                "kind": m["kind"],
+                "procs": m["nprocs"],
+                "elapsed_cycles": m["engine"].now,
+                "events_executed": m["engine"].events_executed,
+            }
+            for m in tracer.machines
+        ],
+    }
+    if meta:
+        other.update(meta)
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
+
+
+# ---------------------------------------------------------------------------
+# Validation (the CI schema check).
+# ---------------------------------------------------------------------------
+
+_REQUIRED: Dict[str, tuple] = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "B": ("name", "pid", "tid", "ts"),
+    "E": ("pid", "tid", "ts"),
+    "s": ("id", "name", "pid", "tid", "ts"),
+    "f": ("id", "name", "pid", "tid", "ts"),
+    "i": ("name", "ts"),
+    "I": ("name", "ts"),
+    "M": ("name", "args"),
+    "C": ("name", "ts", "args"),
+}
+
+
+def validate_chrome_trace(doc: Any, max_errors: int = 20) -> List[str]:
+    """Structural check of a Chrome Trace JSON object; [] when valid."""
+    errors: List[str] = []
+
+    def err(message: str) -> bool:
+        errors.append(message)
+        return len(errors) >= max_errors
+
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object with a traceEvents array"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+
+    flow_starts: Dict[Any, int] = {}
+    flow_ends: Dict[Any, int] = {}
+    stacks: Dict[tuple, List[str]] = {}
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            if err(f"event {index}: not an object"):
+                return errors
+            continue
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            if err(f"event {index}: unknown phase {ph!r}"):
+                return errors
+            continue
+        missing = [key for key in _REQUIRED[ph] if key not in event]
+        if missing:
+            if err(f"event {index} (ph={ph}): missing {missing}"):
+                return errors
+            continue
+        for key in ("ts", "dur"):
+            if key in event and not isinstance(event[key], (int, float)):
+                if err(f"event {index} (ph={ph}): non-numeric {key}"):
+                    return errors
+        if ph == "X" and event.get("dur", 0) < 0:
+            if err(f"event {index}: negative dur {event['dur']}"):
+                return errors
+        if ph == "s":
+            flow_starts[event["id"]] = flow_starts.get(event["id"], 0) + 1
+        elif ph == "f":
+            flow_ends[event["id"]] = flow_ends.get(event["id"], 0) + 1
+        elif ph == "B":
+            stacks.setdefault((event["pid"], event["tid"]), []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.setdefault((event["pid"], event["tid"]), [])
+            if not stack:
+                if err(
+                    f"event {index}: E without matching B on "
+                    f"pid={event['pid']} tid={event['tid']}"
+                ):
+                    return errors
+            else:
+                opened = stack.pop()
+                name = event.get("name")
+                if name is not None and name != opened:
+                    if err(
+                        f"event {index}: E named {name!r} closes B named {opened!r}"
+                    ):
+                        return errors
+
+    for flow_id in flow_ends:
+        if flow_id not in flow_starts:
+            if err(f"flow finish id {flow_id!r} has no flow start"):
+                return errors
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            if err(f"unclosed B events on pid={pid} tid={tid}: {stack}"):
+                return errors
+    return errors

@@ -1,0 +1,148 @@
+"""Paper-style ASCII timeline rendered from a Chrome trace document.
+
+Works off the exported JSON (not the live tracer), so a stored trace
+re-renders without re-simulating: ``repro trace`` serves repeat
+requests from the trace file attached to the experiment's cached
+:class:`~repro.runner.record.RunRecord`.
+
+Each processor is one lane; simulated time is bucketed into columns and
+each column shows the category that consumed the most cycles in that
+bucket (``.`` when the bucket is mostly idle/untraced). A per-category
+totals table follows — those sums equal the aggregate ``ProcStats``
+tables cycle-for-cycle, which is the tracer's core invariant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+from repro.stats.report import human_quantity
+from repro.trace.tracer import TID_NET
+
+#: Preferred legend characters for the paper's recurring categories.
+_PREFERRED = {
+    "Computation": "C",
+    "Local Misses": "m",
+    "Lib Comp": "l",
+    "Lib Misses": "i",
+    "Network Access": "N",
+    "Barriers": "B",
+    "Private Misses": "p",
+    "Shared Misses": "S",
+    "Write Faults": "w",
+    "TLB Misses": "t",
+    "Sync Comp": "y",
+    "Sync Miss": "Y",
+    "Locks": "L",
+    "Reductions": "R",
+    "Start-up Wait": "U",
+}
+
+_FALLBACK = "abcdefghjknoqrsuvxz*#@%&+=~^"
+
+
+def _legend_for(categories: List[str]) -> Dict[str, str]:
+    """Stable category -> single-char mapping, collision-free."""
+    legend: Dict[str, str] = {}
+    used = set()
+    for category in categories:
+        char = _PREFERRED.get(category)
+        if char is None or char in used:
+            char = next(
+                (c for c in category if c.isalnum() and c not in used), None
+            ) or next(c for c in _FALLBACK if c not in used)
+        legend[category] = char
+        used.add(char)
+    return legend
+
+
+def _machine_intervals(doc: Dict[str, Any]) -> Dict[int, List[Tuple[int, int, str, int, int]]]:
+    """pid-of-machine -> [(tid, pid-echo, category, start, dur)] cycle slices."""
+    per_machine: Dict[int, List[Tuple[int, int, str, int, int]]] = defaultdict(list)
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "X" and event.get("cat") == "cycles":
+            tid = event["tid"]
+            if tid < TID_NET:  # processor cycle tracks only
+                per_machine[event["pid"]].append(
+                    (tid, tid, event["name"], int(event["ts"]), int(event["dur"]))
+                )
+    return per_machine
+
+
+def render_timeline(doc: Dict[str, Any], width: int = 72) -> str:
+    """Render every machine in the trace document as ASCII lanes."""
+    other = doc.get("otherData", {})
+    machines = other.get("machines", [])
+    per_machine = _machine_intervals(doc)
+    lines: List[str] = []
+
+    for mi in sorted(per_machine):
+        meta = machines[mi] if mi < len(machines) else {}
+        label = meta.get("label", f"machine {mi}")
+        kind = meta.get("kind", "?")
+        intervals = per_machine[mi]
+        t_end = meta.get("elapsed_cycles") or max(
+            (start + dur for _t, _p, _c, start, dur in intervals), default=0
+        )
+        if t_end <= 0:
+            continue
+
+        totals: Dict[str, int] = defaultdict(int)
+        per_pid: Dict[int, List[Tuple[str, int, int]]] = defaultdict(list)
+        for _tid, pid, category, start, dur in intervals:
+            totals[category] += dur
+            per_pid[pid].append((category, start, dur))
+        categories = sorted(totals, key=totals.get, reverse=True)
+        legend = _legend_for(categories)
+        scale = t_end / width
+
+        title = (
+            f"{kind} machine [{label}] — {meta.get('procs', len(per_pid))} procs, "
+            f"{human_quantity(t_end)} cycles, 1 col = {human_quantity(scale)} cycles"
+        )
+        lines.append(title)
+        lines.append("-" * max(44, len(title)))
+        lines.append(
+            "legend: "
+            + "  ".join(f"{legend[c]}={c}" for c in categories)
+            + "  .=idle"
+        )
+        for pid in sorted(per_pid):
+            buckets: List[Dict[str, float]] = [defaultdict(float) for _ in range(width)]
+            for category, start, dur in per_pid[pid]:
+                if dur <= 0:
+                    continue
+                first = min(width - 1, int(start / scale))
+                last = min(width - 1, int((start + dur - 1) / scale))
+                for col in range(first, last + 1):
+                    lo = max(start, col * scale)
+                    hi = min(start + dur, (col + 1) * scale)
+                    if hi > lo:
+                        buckets[col][category] += hi - lo
+            lane = "".join(
+                legend[max(bucket, key=bucket.get)]
+                if bucket and max(bucket.values()) >= 0.5 * scale
+                else ("." if not bucket else legend[max(bucket, key=bucket.get)].lower())
+                for bucket in buckets
+            )
+            lines.append(f"  p{pid:<3}|{lane}|")
+
+        grand = sum(totals.values())
+        lines.append("per-category cycles (all traced procs):")
+        for category in categories:
+            share = 100.0 * totals[category] / grand if grand else 0.0
+            lines.append(
+                f"  {category:<18}{human_quantity(totals[category]):>12}  {share:5.1f}%"
+            )
+        lines.append(f"  {'Total':<18}{human_quantity(grand):>12}  100.0%")
+        lines.append("")
+
+    dropped = other.get("dropped_events", 0)
+    if dropped:
+        lines.append(
+            f"note: trace truncated — {dropped} records over the event cap were dropped"
+        )
+    if not lines:
+        return "(no cycle intervals in trace)"
+    return "\n".join(lines).rstrip()

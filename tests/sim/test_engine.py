@@ -122,3 +122,39 @@ def test_pending_counts_live_actions():
     assert engine.pending() == 2
     h1.cancel()
     assert engine.pending() == 1
+
+
+def test_dispatch_hook_sees_every_dispatch():
+    engine = Engine()
+    seen = []
+    engine.dispatch_hook = lambda now: seen.append(now)
+    engine.schedule(5, lambda: None)
+    engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    executed = engine.run()
+    assert executed == 3
+    assert seen == [5, 5, 9]
+
+
+def test_dispatch_hook_skips_cancelled_entries():
+    engine = Engine()
+    seen = []
+    engine.dispatch_hook = lambda now: seen.append(now)
+    handle = engine.schedule(3, lambda: None)
+    engine.schedule(7, lambda: None)
+    handle.cancel()
+    engine.run()
+    assert seen == [7]
+
+
+def test_dispatch_hook_composes_with_until():
+    engine = Engine()
+    seen = []
+    engine.dispatch_hook = lambda now: seen.append(now)
+    engine.schedule(2, lambda: None)
+    engine.schedule(8, lambda: None)
+    engine.run(until=5)
+    assert seen == [2]
+    assert engine.now == 5
+    engine.run()
+    assert seen == [2, 8]

@@ -1,0 +1,91 @@
+"""Property test pinning the lazy-cancel accounting of Engine.pending().
+
+``pending()`` is an O(1) counter maintained across lazy cancellation,
+due-lane scheduling, heap compaction, and partial ``run()`` drains. The
+oracle is the naive O(n) scan of the live entries actually sitting in
+the heap and due lane — the two must agree after every operation in any
+randomized schedule/cancel/stop/run sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, ScheduledAction
+
+
+def naive_pending(engine):
+    """Count live entries by scanning the queues directly."""
+    live = 0
+    for lane in (engine._heap, engine._due):
+        for item in lane:
+            entry = item[2] if isinstance(item, tuple) else item
+            if isinstance(entry, ScheduledAction):
+                if not entry.cancelled:
+                    live += 1
+            else:
+                live += 1
+    return live
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(0, 10)),
+        st.tuples(st.just("schedule_step"), st.integers(0, 10)),
+        st.tuples(st.just("schedule_stop"), st.integers(0, 5)),
+        st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+        st.tuples(st.just("run_until"), st.integers(0, 15)),
+        st.tuples(st.just("run_max"), st.integers(1, 10)),
+        st.tuples(st.just("drain"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(OPS)
+def test_pending_counter_matches_naive_scan(ops):
+    engine = Engine()
+    handles = []
+
+    for op, arg in ops:
+        if op == "schedule":
+            handles.append(engine.schedule(arg, lambda: None))
+        elif op == "schedule_step":
+            engine._schedule_step(arg, lambda: None)
+        elif op == "schedule_stop":
+            handles.append(engine.schedule(arg, engine.stop))
+        elif op == "cancel" and handles:
+            # Double-cancels are deliberately reachable and must be inert.
+            handles[arg % len(handles)].cancel()
+        elif op == "run_until":
+            engine.run(until=engine.now + arg)
+        elif op == "run_max":
+            engine.run(max_events=arg)
+        elif op == "drain":
+            engine.run()
+        assert engine.pending() == naive_pending(engine), op
+
+    # Drain fully; scheduled stop() actions may halt a run() early, so
+    # keep running until nothing is live.
+    while engine.pending():
+        engine.run()
+        assert engine.pending() == naive_pending(engine)
+    assert naive_pending(engine) == 0
+
+
+def test_pending_exact_across_forced_heap_compaction():
+    """Cancelling >2x _COMPACT_MIN entries forces at least one compaction."""
+    engine = Engine()
+    handles = [engine.schedule(i + 1, lambda: None) for i in range(300)]
+    keep = handles[::10]
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+        assert engine.pending() == naive_pending(engine)
+    # Compaction dropped the garbage without losing a live entry.
+    assert len(engine._heap) < 300
+    assert engine.pending() == len(keep)
+    executed = engine.run()
+    assert executed == len(keep)
+    assert engine.pending() == 0

@@ -59,6 +59,52 @@ def test_unknown_context_rejected():
         stats.push_context("nope")
 
 
+def test_pop_context_on_empty_stack_raises_runtime_error():
+    stats = ProcStats(3)
+    with pytest.raises(RuntimeError, match=r"p3.*no context active"):
+        stats.pop_context()
+    with pytest.raises(RuntimeError, match=r"'lib'.*no context active"):
+        stats.pop_context(expected="lib")
+
+
+def test_pop_context_names_the_mismatch():
+    remaps = {"lib": {}, "sync": {}}
+    stats = ProcStats(0, remaps=remaps)
+    stats.push_context("lib")
+    with pytest.raises(RuntimeError, match=r"expected 'sync'.*innermost context is 'lib'"):
+        stats.pop_context(expected="sync")
+    # The failed pop must leave the stack intact.
+    assert list(stats.active_contexts) == ["lib"]
+    stats.pop_context(expected="lib")
+    assert not list(stats.active_contexts)
+
+
+def test_pop_phase_on_empty_stack_raises_runtime_error():
+    stats = ProcStats(1)
+    with pytest.raises(RuntimeError, match=r"p1.*no phase active"):
+        stats.pop_phase()
+
+
+def test_pop_phase_names_the_mismatch():
+    stats = ProcStats(0)
+    stats.push_phase("init")
+    with pytest.raises(RuntimeError, match=r"expected 'main'.*innermost phase is 'init'"):
+        stats.pop_phase(expected="main")
+    assert stats.current_phase == "init"
+
+
+def test_context_and_phase_unwind_in_order_under_exceptions():
+    stats = ProcStats(0, remaps={"lib": {}, "sync": {}})
+    with pytest.raises(ValueError):
+        with stats.phase("main"):
+            with stats.context("lib"):
+                with stats.context("sync"):
+                    raise ValueError("boom")
+    # Every level unwound despite the exception — LIFO, fully drained.
+    assert not list(stats.active_contexts)
+    assert stats.current_phase is None
+
+
 def test_negative_charge_rejected():
     stats = ProcStats(0)
     with pytest.raises(ValueError):

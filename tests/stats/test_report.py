@@ -15,6 +15,15 @@ def test_human_quantity_paper_styles():
     assert human_quantity(1_100_000) == "1.1M"
 
 
+def test_human_quantity_mega_boundary():
+    # Values below one million keep the paper's comma style; the old
+    # 1e5 cutoff rendered 100,000..999,999 as "0.1M".."1.0M".
+    assert human_quantity(99_999) == "99,999"
+    assert human_quantity(100_000) == "100,000"
+    assert human_quantity(999_999) == "999,999"
+    assert human_quantity(1_000_000) == "1.0M"
+
+
 def test_breakdown_contains_rows_and_total():
     text = format_breakdown(
         "MSE Message Passing (MSE-MP)",

@@ -1,0 +1,37 @@
+"""Benchmark provenance metadata and baseline tolerance."""
+
+from repro import bench
+
+
+def test_platform_meta_records_provenance():
+    meta = bench.platform_meta(quick=True)
+    assert meta["quick"] is True
+    assert meta["python"]
+    assert meta["platform"]
+    assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
+    # git_sha is a short hex string inside a checkout, None outside one.
+    assert meta["git_sha"] is None or (
+        isinstance(meta["git_sha"], str) and len(meta["git_sha"]) >= 7
+    )
+
+
+def _doc(rate, meta=None):
+    doc = {"kernel": {"events_per_sec": rate}}
+    if meta is not None:
+        doc["meta"] = meta
+    return doc
+
+
+def test_compare_tolerates_baseline_without_meta():
+    ok, message = bench.compare(_doc(100, meta=bench.platform_meta()), _doc(100))
+    assert ok
+    assert "different platform" not in message
+
+
+def test_compare_warns_on_platform_mismatch_without_failing():
+    current = _doc(100, meta={"platform": "here"})
+    baseline = _doc(100, meta={"platform": "elsewhere"})
+    ok, message = bench.compare(current, baseline)
+    assert ok
+    assert "different platform" in message
+    assert "elsewhere" in message

@@ -1,0 +1,91 @@
+"""Chrome Trace Event export: structure, round-trip, validation."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.core.experiments import EXPERIMENTS
+from repro.trace.chrome import ALLOWED_PHASES, to_chrome, validate_chrome_trace
+
+MSE_SMALL = {"procs": 4, "app": {"bodies": 16, "elements_per_body": 4, "iterations": 3}}
+
+
+@pytest.fixture(scope="module")
+def mse_doc():
+    spec = EXPERIMENTS["mse"]
+    tracer = trace.Tracer()
+    with trace.tracing(tracer):
+        spec.runner(spec.config.with_overrides(MSE_SMALL))
+    return to_chrome(tracer, meta={"experiment": "mse"})
+
+
+def test_document_round_trips_through_json(mse_doc):
+    text = json.dumps(mse_doc)
+    assert json.loads(text) == mse_doc
+
+
+def test_validator_accepts_emitted_trace(mse_doc):
+    assert validate_chrome_trace(mse_doc) == []
+
+
+def test_covers_required_phases(mse_doc):
+    phases = {event["ph"] for event in mse_doc["traceEvents"]}
+    # The acceptance phases plus instants, metadata, and counters.
+    assert {"X", "B", "E", "s", "f"} <= phases
+    assert phases <= ALLOWED_PHASES
+
+
+def test_flow_pairs_share_ids(mse_doc):
+    starts = {e["id"] for e in mse_doc["traceEvents"] if e["ph"] == "s"}
+    ends = {e["id"] for e in mse_doc["traceEvents"] if e["ph"] == "f"}
+    assert starts and starts == ends
+
+
+def test_metadata_names_every_cycle_track(mse_doc):
+    named = {
+        (e["pid"], e["tid"])
+        for e in mse_doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    used = {
+        (e["pid"], e["tid"])
+        for e in mse_doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "cycles"
+    }
+    assert used <= named
+
+
+def test_other_data_summarizes_machines(mse_doc):
+    other = mse_doc["otherData"]
+    assert other["experiment"] == "mse"
+    assert other["dropped_events"] == 0
+    kinds = {m["kind"] for m in other["machines"]}
+    assert kinds == {"mp", "sm"}
+    for machine in other["machines"]:
+        assert machine["elapsed_cycles"] > 0
+        assert machine["events_executed"] > 0
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0}]}
+    ) != []  # missing dur
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": -1}]}
+    ) != []  # negative dur
+
+
+def test_validator_rejects_unbalanced_spans_and_orphan_flows():
+    b = {"ph": "B", "name": "p", "pid": 0, "tid": 0, "ts": 0}
+    e = {"ph": "E", "pid": 0, "tid": 0, "ts": 5}
+    assert validate_chrome_trace({"traceEvents": [b, e]}) == []
+    assert validate_chrome_trace({"traceEvents": [e]}) != []  # E without B
+    assert validate_chrome_trace({"traceEvents": [b]}) != []  # unclosed B
+    mismatched = dict(e, name="other")
+    assert validate_chrome_trace({"traceEvents": [b, mismatched]}) != []
+    orphan_f = {"ph": "f", "id": "9", "name": "m", "pid": 0, "tid": 0, "ts": 1}
+    assert validate_chrome_trace({"traceEvents": [orphan_f]}) != []
