@@ -1,0 +1,55 @@
+"""Typed failure vocabulary of the checking subsystem.
+
+Every invariant violation — whether detected by a runtime monitor, a
+litmus outcome assertion, or a protocol controller rejecting a message
+it cannot legally receive — raises :class:`CheckError`, which carries
+the processor/node id, the block address, and the directory (or cache)
+state so a failing litmus or stress run is diagnosable from the message
+alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CheckError(RuntimeError):
+    """An invariant of the simulated machines was violated.
+
+    Subclasses ``RuntimeError`` so existing callers that guard protocol
+    paths with ``except RuntimeError`` (and tests using
+    ``pytest.raises(RuntimeError)``) keep working.
+
+    Attributes:
+        invariant: short name of the violated invariant, e.g. ``"swmr"``,
+            ``"data-value"``, ``"fifo"``, ``"conservation"``,
+            ``"dir-agreement"``, ``"protocol"``.
+        node: processor/node id where the violation was detected.
+        block: block (or byte) address involved, if any.
+        state: human-readable directory/cache state at the time
+            (e.g. ``DirEntry.describe()`` output).
+        detail: free-form explanation.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        node: Optional[int] = None,
+        block: Optional[int] = None,
+        state: Optional[str] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.node = node
+        self.block = block
+        self.state = state
+        self.detail = detail
+        parts = [f"[{invariant}]"]
+        if node is not None:
+            parts.append(f"node {node}")
+        if block is not None:
+            parts.append(f"block {block:#x}")
+        if state is not None:
+            parts.append(f"state {state}")
+        parts.append(detail)
+        super().__init__(" ".join(parts))

@@ -1,0 +1,319 @@
+"""Litmus tests: sequential-consistency regression armor for the SM machine.
+
+The simulated shared-memory machine is sequentially consistent by
+construction — one numpy array backs each region and the Dir_nNB
+protocol invalidates every copy before a write completes — and the
+paper's cycle attribution assumes exactly that. These tests pin the
+property: each classic litmus shape (message passing, store buffering,
+IRIW, coherence order, ...) runs as a real multi-processor program on
+the real machine, many times under different per-operation timing
+jitter, and its *forbidden* outcome must never appear. A future change
+that reorders protocol completion against memory update would surface
+here first.
+
+The DSL is four operation types — :class:`St`, :class:`Ld`,
+:class:`Pause`, :class:`CasInc` — composed into one program (a tuple of
+operations) per processor:
+
+    MP = LitmusTest(
+        name="mp_message_passing",
+        programs=(
+            (St("x", 1), St("y", 1)),            # producer
+            (Ld("y", "r0"), Ld("x", "r1")),      # consumer
+        ),
+        forbidden=lambda o: o["1:r0"] == 1 and o["1:r1"] == 0,
+    )
+
+Each variable becomes its own one-block shared region; loads record
+``"pid:reg"`` entries in the outcome, and final memory is exposed as
+``"mem:var"``. ``run_litmus`` executes the shape once per seed with
+deterministic per-(processor, op) delays drawn from the seed, asserts
+``forbidden`` never holds, and returns the histogram of observed
+outcomes. Runs execute under an installed :class:`~repro.check.Checker`
+(reusing the active one if any), so every litmus execution also
+exercises the SWMR/agreement/oracle monitors.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import check
+from repro.arch.params import MachineParams
+from repro.check.errors import CheckError
+from repro.sm.machine import SmMachine
+
+
+@dataclass(frozen=True)
+class St:
+    """Store ``value`` to variable ``var``."""
+
+    var: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Ld:
+    """Load variable ``var`` into outcome register ``reg``."""
+
+    var: str
+    reg: str
+
+
+@dataclass(frozen=True)
+class Pause:
+    """Compute for a fixed number of cycles (shapes timing windows)."""
+
+    cycles: int = 50
+
+
+@dataclass(frozen=True)
+class CasInc:
+    """Atomically increment ``var`` ``times`` times via a CAS loop."""
+
+    var: str
+    times: int = 1
+
+
+Op = Union[St, Ld, Pause, CasInc]
+Outcome = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus shape: per-processor programs plus the SC-forbidden outcome."""
+
+    name: str
+    programs: Tuple[Tuple[Op, ...], ...]
+    forbidden: Callable[[Outcome], bool]
+    description: str = ""
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.programs)
+
+    def variables(self) -> Tuple[str, ...]:
+        seen = []
+        for program in self.programs:
+            for op in program:
+                var = getattr(op, "var", None)
+                if var is not None and var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+
+#: Maximum jitter inserted before each operation, in cycles. Spans the
+#: machine's interesting reorder window: network latency is 100 cycles,
+#: so delays in [0, 120] move operations across transaction boundaries.
+MAX_JITTER_CYCLES = 120
+
+DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(6))
+
+
+def _jitter(seed: int, nprocs: int, lengths: Sequence[int]) -> list:
+    """Deterministic per-(processor, op) delays for one execution."""
+    rng = random.Random(seed)
+    return [
+        [rng.randrange(MAX_JITTER_CYCLES + 1) for _ in range(length)]
+        for length in lengths
+    ]
+
+
+def _litmus_program(ctx, test: LitmusTest, regions: Dict[str, object],
+                    delays: list, outcome: Outcome):
+    ops = test.programs[ctx.pid]
+    my_delays = delays[ctx.pid]
+    for i, op in enumerate(ops):
+        if my_delays[i]:
+            yield from ctx.compute(my_delays[i])
+        if isinstance(op, St):
+            yield from ctx.write(
+                regions[op.var], 0, values=np.array([float(op.value)])
+            )
+        elif isinstance(op, Ld):
+            values = yield from ctx.read(regions[op.var], 0, 1)
+            outcome[f"{ctx.pid}:{op.reg}"] = int(values[0].item())
+        elif isinstance(op, CasInc):
+            region = regions[op.var]
+            for _ in range(op.times):
+                while True:
+                    current = yield from ctx.read(region, 0, 1)
+                    current = int(current[0].item())
+                    swapped = yield from ctx.atomic_cas(
+                        region, 0, current, current + 1
+                    )
+                    if swapped:
+                        break
+        elif isinstance(op, Pause):
+            yield from ctx.compute(op.cycles)
+        else:
+            raise TypeError(f"unknown litmus op {op!r}")
+
+
+def _run_once(test: LitmusTest, seed: int) -> Outcome:
+    machine = SmMachine(
+        MachineParams.paper(num_processors=test.nprocs), seed=1994 + seed
+    )
+    regions = {}
+    for var in test.variables():
+        # One 4-element float64 row: exactly one 32-byte cache block, so
+        # distinct variables never share a line.
+        region = machine.space.alloc_shared(
+            f"lit.{var}", owner=0, shape=4, dtype=np.float64, fill=0.0
+        )
+        machine.index_region(region)
+        regions[var] = region
+    delays = _jitter(seed, test.nprocs, [len(p) for p in test.programs])
+    outcome: Outcome = {}
+    machine.run(_litmus_program, test, regions, delays, outcome)
+    for var, region in regions.items():
+        outcome[f"mem:{var}"] = int(region.np.reshape(-1)[0])
+    return outcome
+
+
+def run_litmus(
+    test: LitmusTest,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    check_invariants: bool = True,
+) -> Counter:
+    """Run one shape across ``seeds``; returns the outcome histogram.
+
+    Raises :class:`CheckError` the moment the shape's forbidden outcome
+    is observed (or any runtime invariant trips mid-run).
+    """
+    observed: Counter = Counter()
+    for seed in seeds:
+        if check_invariants and not check.active().enabled:
+            with check.checking():
+                outcome = _run_once(test, seed)
+        else:
+            outcome = _run_once(test, seed)
+        if test.forbidden(outcome):
+            raise CheckError(
+                "litmus",
+                f"{test.name}: forbidden outcome {outcome} under seed {seed}",
+            )
+        observed[tuple(sorted(outcome.items()))] += 1
+    return observed
+
+
+def run_suite(
+    tests: Sequence[LitmusTest] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> Dict[str, Counter]:
+    """Run every shape; returns ``{name: outcome histogram}``."""
+    results = {}
+    for test in LITMUS_TESTS if tests is None else tests:
+        results[test.name] = run_litmus(test, seeds=seeds)
+    return results
+
+
+#: Increments per processor in the RMW-atomicity shape.
+_RMW_INCREMENTS = 8
+
+LITMUS_TESTS: Tuple[LitmusTest, ...] = (
+    LitmusTest(
+        name="mp_message_passing",
+        programs=(
+            (St("x", 1), St("y", 1)),
+            (Ld("y", "r0"), Ld("x", "r1")),
+        ),
+        forbidden=lambda o: o["1:r0"] == 1 and o["1:r1"] == 0,
+        description="Seeing the flag (y) implies seeing the data (x).",
+    ),
+    LitmusTest(
+        name="sb_store_buffering",
+        programs=(
+            (St("x", 1), Ld("y", "r0")),
+            (St("y", 1), Ld("x", "r1")),
+        ),
+        forbidden=lambda o: o["0:r0"] == 0 and o["1:r1"] == 0,
+        description="Both processors cannot miss each other's store (no "
+        "store buffers on this machine).",
+    ),
+    LitmusTest(
+        name="lb_load_buffering",
+        programs=(
+            (Ld("x", "r0"), St("y", 1)),
+            (Ld("y", "r1"), St("x", 1)),
+        ),
+        forbidden=lambda o: o["0:r0"] == 1 and o["1:r1"] == 1,
+        description="Loads cannot observe stores that are program-order "
+        "after the loads that would justify them.",
+    ),
+    LitmusTest(
+        name="iriw_independent_reads",
+        programs=(
+            (St("x", 1),),
+            (St("y", 1),),
+            (Ld("x", "r0"), Ld("y", "r1")),
+            (Ld("y", "r2"), Ld("x", "r3")),
+        ),
+        forbidden=lambda o: (
+            o["2:r0"] == 1
+            and o["2:r1"] == 0
+            and o["3:r2"] == 1
+            and o["3:r3"] == 0
+        ),
+        description="Two readers cannot disagree on the order of two "
+        "independent writes (write atomicity).",
+    ),
+    LitmusTest(
+        name="corr_coherent_read_read",
+        programs=(
+            (St("x", 1),),
+            (Ld("x", "r0"), Ld("x", "r1")),
+        ),
+        forbidden=lambda o: o["1:r0"] == 1 and o["1:r1"] == 0,
+        description="Per-location coherence: a later read of x cannot go "
+        "back in time.",
+    ),
+    LitmusTest(
+        name="coww_coherent_write_write",
+        programs=(
+            (St("x", 1), St("x", 2)),
+            (Ld("x", "r0"), Pause(30), Ld("x", "r1")),
+        ),
+        forbidden=lambda o: (
+            (o["1:r0"] == 2 and o["1:r1"] == 1) or o["mem:x"] != 2
+        ),
+        description="Same-location stores serialize in program order; the "
+        "second store must win.",
+    ),
+    LitmusTest(
+        name="w2plus2_write_serialization",
+        programs=(
+            (St("x", 1), St("y", 2)),
+            (St("y", 1), St("x", 2)),
+        ),
+        forbidden=lambda o: o["mem:x"] == 1 and o["mem:y"] == 1,
+        description="2+2W: the two first-writes cannot both finish last.",
+    ),
+    LitmusTest(
+        name="wrc_write_read_causality",
+        programs=(
+            (St("x", 1),),
+            (Ld("x", "r0"), St("y", 1)),
+            (Ld("y", "r1"), Ld("x", "r2")),
+        ),
+        forbidden=lambda o: (
+            o["1:r0"] == 1 and o["2:r1"] == 1 and o["2:r2"] == 0
+        ),
+        description="Causality through an intermediate processor: reading "
+        "y=1 implies the write of x is visible.",
+    ),
+    LitmusTest(
+        name="rmw_atomicity",
+        programs=(
+            (CasInc("x", _RMW_INCREMENTS),),
+            (CasInc("x", _RMW_INCREMENTS),),
+        ),
+        forbidden=lambda o: o["mem:x"] != 2 * _RMW_INCREMENTS,
+        description="CAS-loop increments never lose updates.",
+    ),
+)

@@ -17,6 +17,12 @@ Commands:
   installed, write Chrome Trace Event JSON (Perfetto-loadable), print
   the ASCII timeline, and attach the trace path to the cached record so
   later invocations re-render without re-simulating;
+* ``python -m repro check [--litmus] [--stress N] [--seed S]`` — the
+  coherence/consistency litmus suite and the randomized stress
+  programs, executed under the invariant checker (``repro.check``);
+* ``python -m repro run --check ...`` — run experiments with the
+  invariant checker installed (in-process, cache bypassed), proving a
+  record was produced by a violation-free simulation;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
   inspect or drop the on-disk result cache;
 * ``python -m repro fidelity`` — the paper-vs-run scorecard.
@@ -80,6 +86,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"repro run: error: {exc.args[0]}", file=sys.stderr)
         return 2
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    if args.check:
+        # The checker instruments machine instances, so checked runs must
+        # execute in this process and cannot reuse cached (unchecked)
+        # records.
+        jobs = 1
+        print(
+            "running with the invariant checker installed "
+            "(in-process, cache bypassed)",
+            file=sys.stderr,
+        )
 
     done = []
 
@@ -92,13 +108,31 @@ def cmd_run(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    records = execute(
-        exp_ids,
-        jobs=jobs,
-        use_cache=not args.no_cache,
-        force=args.force,
-        progress=progress,
-    )
+    if args.check:
+        from repro import check
+
+        with check.checking() as checker:
+            records = execute(
+                exp_ids,
+                jobs=1,
+                use_cache=False,
+                force=True,
+                progress=progress,
+            )
+        totals = checker.report()
+        print(
+            "invariant checker: zero violations "
+            f"({sum(totals.values())} checks: {totals})",
+            file=sys.stderr,
+        )
+    else:
+        records = execute(
+            exp_ids,
+            jobs=jobs,
+            use_cache=not args.no_cache,
+            force=args.force,
+            progress=progress,
+        )
 
     failed: List[str] = []
     for exp_id, record in records.items():
@@ -259,6 +293,67 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.errors import CheckError
+    from repro.check.litmus import LITMUS_TESTS, run_suite
+    from repro.check.stress import run_mp_stress, run_sm_stress
+
+    # Default: everything. `--litmus` or `--stress N` narrows the run.
+    do_litmus = args.litmus or args.stress is None
+    do_stress = (args.stress is not None) or not args.litmus
+    ops = args.stress if args.stress is not None else 500
+    failures = 0
+
+    if do_litmus:
+        seeds = tuple(range(args.seed, args.seed + args.litmus_seeds))
+        for test in LITMUS_TESTS:
+            try:
+                observed = run_suite([test], seeds=seeds)[test.name]
+            except CheckError as exc:
+                print(f"  [FAIL] litmus {test.name}: {exc}")
+                failures += 1
+                continue
+            print(
+                f"  [PASS] litmus {test.name}: {len(observed)} distinct "
+                f"outcome(s) over {sum(observed.values())} runs, forbidden "
+                f"outcome never observed"
+            )
+
+    if do_stress:
+        try:
+            report = run_sm_stress(ops=ops, seed=args.seed, nprocs=args.nprocs)
+        except CheckError as exc:
+            print(f"  [FAIL] sm stress: {exc}")
+            failures += 1
+        else:
+            print(
+                f"  [PASS] sm stress: {report['sm_ops']} ops, "
+                f"{report['increments']} locked increments, "
+                f"{report.get('data-value', 0)} oracle checks, "
+                f"{report.get('swmr', 0)} SWMR checks"
+            )
+        try:
+            report = run_mp_stress(
+                ops=max(1, ops // 2), seed=args.seed, nprocs=args.nprocs
+            )
+        except CheckError as exc:
+            print(f"  [FAIL] mp stress: {exc}")
+            failures += 1
+        else:
+            print(
+                f"  [PASS] mp stress: {report['mp_messages']} sequenced "
+                f"messages, {report.get('fifo', 0)} FIFO checks, "
+                f"{report.get('conservation', 0)} conservation checks, "
+                f"strict quiescence"
+            )
+
+    if failures:
+        print(f"repro check: {failures} violation(s)", file=sys.stderr)
+        return 1
+    print("repro check: all invariants held")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.cache_command == "ls":
@@ -304,6 +399,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bypass the on-disk result cache entirely")
     run_parser.add_argument("--force", action="store_true",
                             help="re-simulate even on a cache hit")
+    run_parser.add_argument("--check", action="store_true",
+                            help="simulate with the invariant checker "
+                                 "installed (forces --jobs 1, no cache)")
     run_parser.set_defaults(handler=cmd_run)
 
     bench_parser = subparsers.add_parser(
@@ -346,6 +444,30 @@ def build_parser() -> argparse.ArgumentParser:
                               help="re-simulate even when the cached record "
                                    "already has a trace attached")
     trace_parser.set_defaults(handler=cmd_trace)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="coherence/consistency litmus suite + randomized stress "
+             "under the invariant checker",
+    )
+    check_parser.add_argument("--litmus", action="store_true",
+                              help="run only the litmus suite")
+    check_parser.add_argument("--stress", type=int, default=None,
+                              metavar="N",
+                              help="run only the stress programs, with N "
+                                   "shared-memory operations (default when "
+                                   "neither flag is given: both, N=500)")
+    check_parser.add_argument("--seed", type=int, default=0, metavar="S",
+                              help="base seed for schedules and jitter "
+                                   "(default: 0)")
+    check_parser.add_argument("--nprocs", type=int, default=4, metavar="P",
+                              help="simulated processors for stress runs "
+                                   "(default: 4, must be even)")
+    check_parser.add_argument("--litmus-seeds", type=int, default=6,
+                              metavar="K",
+                              help="jitter seeds per litmus shape "
+                                   "(default: 6)")
+    check_parser.set_defaults(handler=cmd_check)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

@@ -26,7 +26,7 @@ from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.stats.categories import MpCat
 from repro.stats.collector import ProcStats, StatsBoard
-from repro import trace
+from repro import check, trace
 
 #: Attribution remaps: in library code, computation is Lib Comp and
 #: local misses are Lib Misses (the paper's MP communication breakdown).
@@ -97,8 +97,9 @@ class MpMachine:
             ctx.coll = CollectiveGroup(ctx, strategy=collective_strategy)
         self._finish_times: Dict[int, int] = {}
         self._interrupt_servicers: Dict[int, Process] = {}
-        # No-op unless a tracer is installed (repro.trace).
+        # No-ops unless a tracer/checker is installed (repro.trace/check).
         trace.active().attach_mp(self)
+        check.active().attach_mp(self)
 
     def ensure_interrupt_servicer(self, pid: int) -> None:
         """Start the node's interrupt-service process (idempotent)."""

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Deque, Generator, Tuple
 
 from repro.arch.cache import LineState
+from repro.check.errors import CheckError
 from repro.sim.events import Gate, SimEvent
 from repro.sim.process import Delay, Process, Wait
 from repro.sm.protocol import Msg, MsgType
@@ -54,7 +55,14 @@ class CacheCtrl:
             elif msg.type is MsgType.UPDATE_PUSH:
                 yield from self._handle_update_push(msg)
             else:
-                raise RuntimeError(f"cache ctrl {self.node_id}: bad message {msg}")
+                cache = self.machine.nodes[self.node_id].cache
+                raise CheckError(
+                    "protocol",
+                    f"cache controller cannot serve message {msg}",
+                    node=self.node_id,
+                    block=msg.block,
+                    state=cache.peek(msg.block).name,
+                )
 
     def _replacement_cost(self, state: LineState) -> int:
         if state is LineState.EXCLUSIVE:

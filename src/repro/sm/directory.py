@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Deque, Dict, Generator, Tuple
 
+from repro.check.errors import CheckError
 from repro.sim.events import Gate, SimEvent
 from repro.sim.process import Delay, Process, Wait
 from repro.sm.protocol import DirEntry, DirState, Msg, MsgType, TransactionInfo
@@ -106,7 +107,13 @@ class Directory:
             if entry.state is DirState.SHARED and not entry.sharers:
                 entry.state = DirState.UNOWNED
         else:
-            raise RuntimeError(f"directory {self.node_id}: bad message {msg}")
+            raise CheckError(
+                "protocol",
+                f"directory cannot serve message {msg}",
+                node=self.node_id,
+                block=msg.block,
+                state=entry.describe(),
+            )
 
     # -- request handling --------------------------------------------------------------
 
@@ -190,9 +197,13 @@ class Directory:
     def _handle_ack(self, entry: DirEntry, msg: Msg) -> Generator:
         yield Delay(self.sm.directory_ack_cycles)
         if not entry.busy or entry.acks_needed <= 0:
-            raise RuntimeError(
-                f"directory {self.node_id}: unexpected ACK for block "
-                f"{msg.block:#x} ({entry.describe()})"
+            raise CheckError(
+                "protocol",
+                f"unexpected ACK from node {msg.src} (no invalidation "
+                f"round in progress)",
+                node=self.node_id,
+                block=msg.block,
+                state=entry.describe(),
             )
         entry.acks_needed -= 1
         if entry.acks_needed:

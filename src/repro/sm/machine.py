@@ -29,7 +29,7 @@ from repro.sm.mcs import McsLock, McsReduction
 from repro.sm.protocol import Msg, MsgType
 from repro.stats.categories import SmCat
 from repro.stats.collector import ProcStats, StatsBoard
-from repro import trace
+from repro import check, trace
 
 #: Attribution contexts for the paper's SM synchronization rows.
 _SYNC_SOURCES = (
@@ -118,8 +118,9 @@ class SmMachine:
         self._reductions: Dict[str, McsReduction] = {}
         self.regions: List[Region] = []
         self._finish_times: Dict[int, int] = {}
-        # No-op unless a tracer is installed (repro.trace).
+        # No-ops unless a tracer/checker is installed (repro.trace/check).
         trace.active().attach_sm(self)
+        check.active().attach_sm(self)
 
     # -- topology ---------------------------------------------------------------
 

@@ -1,0 +1,12 @@
+"""Fixtures for the checking-subsystem tests."""
+
+import pytest
+
+from repro import check
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_checker():
+    """A test that fails mid-`install` must not poison later tests."""
+    yield
+    check.uninstall()

@@ -1,0 +1,38 @@
+"""Tests for the typed failure vocabulary."""
+
+import pytest
+
+from repro.check import CheckError
+
+
+def test_is_a_runtime_error():
+    """Protocol guards that catch RuntimeError keep working."""
+    assert issubclass(CheckError, RuntimeError)
+    with pytest.raises(RuntimeError):
+        raise CheckError("swmr", "boom")
+
+
+def test_carries_structured_fields():
+    err = CheckError(
+        "dir-agreement",
+        "caches disagree",
+        node=3,
+        block=0x1F40,
+        state="EXCLUSIVE@2",
+    )
+    assert err.invariant == "dir-agreement"
+    assert err.detail == "caches disagree"
+    assert err.node == 3
+    assert err.block == 0x1F40
+    assert err.state == "EXCLUSIVE@2"
+
+
+def test_message_format_includes_context():
+    err = CheckError("swmr", "two writers", node=1, block=0x40, state="S")
+    assert str(err) == "[swmr] node 1 block 0x40 state S two writers"
+
+
+def test_optional_fields_are_omitted_from_message():
+    err = CheckError("litmus", "forbidden outcome observed")
+    assert str(err) == "[litmus] forbidden outcome observed"
+    assert err.node is None and err.block is None and err.state is None

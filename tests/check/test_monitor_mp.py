@@ -1,0 +1,159 @@
+"""Message-passing invariant monitors: FIFO, conservation, quiescence."""
+
+import numpy as np
+import pytest
+
+from repro import check
+from repro.arch.params import MachineParams
+from repro.check import CheckError
+from repro.mp.machine import MpMachine
+from repro.mp.netiface import Packet
+
+PARAMS = MachineParams.paper(num_processors=2)
+
+
+def _make_machine(seed=11):
+    return MpMachine(PARAMS, seed=seed)
+
+
+def _ping_program(ctx, rounds):
+    """Each node sends ``rounds`` sequenced messages to its neighbor."""
+    received = [0]
+
+    def on_ping(hctx, packet):
+        received[0] += 1
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    ctx.am.register("ping", on_ping)
+    peer = (ctx.pid + 1) % ctx.nprocs
+    for i in range(rounds):
+        yield from ctx.am.send(peer, "ping", i, data_bytes=8)
+    yield from ctx.poll_wait(lambda: received[0] >= rounds)
+    yield from ctx.barrier()
+    return received[0]
+
+
+def test_checked_run_counts_invariants():
+    with check.checking() as checker:
+        machine = _make_machine()
+        result = machine.run(_ping_program, 3)
+    assert result.outputs == [3, 3]
+    report = checker.report()
+    assert report["conservation"] >= 6
+    assert report["fifo"] >= 6
+    assert report["quiescence"] == 1
+
+
+def test_checking_perturbs_nothing():
+    machine = _make_machine()
+    plain = machine.run(_ping_program, 3)
+    with check.checking():
+        machine = _make_machine()
+        checked = machine.run(_ping_program, 3)
+    assert checked.elapsed_cycles == plain.elapsed_cycles
+    assert checked.outputs == plain.outputs
+
+
+def test_forged_short_train_trips_conservation():
+    """A train whose bytes do not account for its packets is rejected
+    at injection time."""
+    with check.checking():
+        machine = _make_machine()
+        with pytest.raises(CheckError) as exc:
+            machine.deliver(Packet(0, 1, "x", None, data_bytes=4))
+        assert exc.value.invariant == "conservation"
+
+
+def _flush(machine, *packets):
+    for packet in packets:
+        machine.deliver(packet)
+    machine.engine.run()  # let the delivery events land in the NI
+
+
+def test_reordered_queue_trips_fifo():
+    with check.checking():
+        machine = _make_machine()
+        a = Packet(0, 1, "t", ("a",), data_bytes=16, control_bytes=4)
+        b = Packet(0, 1, "t", ("b",), data_bytes=16, control_bytes=4)
+        _flush(machine, a, b)
+        machine.nodes[1].ni._incoming.reverse()
+        with pytest.raises(CheckError) as exc:
+            machine.nodes[1].ni.dequeue()
+        assert exc.value.invariant == "fifo"
+        assert exc.value.node == 1
+
+
+def test_duplicate_receipt_trips_conservation():
+    with check.checking():
+        machine = _make_machine()
+        a = Packet(0, 1, "t", ("a",), data_bytes=16, control_bytes=4)
+        _flush(machine, a)
+        ni = machine.nodes[1].ni
+        assert ni.dequeue() is a
+        ni.enqueue(a)  # the same packet appears in the queue again
+        with pytest.raises(CheckError) as exc:
+            ni.dequeue()
+        assert exc.value.invariant == "conservation"
+        assert "twice" in exc.value.detail
+
+
+def _leaky_program(ctx):
+    """Node 0 sends one message nobody ever polls for."""
+    if ctx.pid == 0:
+        yield from ctx.am.send(1, "orphan", 1, data_bytes=8)
+    yield from ctx.compute(1)
+
+
+def test_unpolled_packet_is_residual_not_violation():
+    """Real programs legitimately end with undrained packets (EM3D's
+    last-round flow-control credits); the default checker counts them."""
+    with check.checking() as checker:
+        machine = _make_machine()
+        machine.run(_leaky_program)
+    assert checker.checks["residual-packets"] >= 1
+
+
+def test_strict_quiescence_rejects_residual():
+    with check.checking(check.Checker(strict_quiescence=True)):
+        machine = _make_machine()
+        with pytest.raises(CheckError) as exc:
+            machine.run(_leaky_program)
+        assert exc.value.invariant == "quiescence"
+
+
+def _push_program(ctx):
+    """One push-style channel round: data lands, nobody waits on it."""
+    if ctx.pid == 0:
+        window = ctx.alloc("window", 8, fill=0.0)
+        yield from ctx.cmmd.offer_channel(1, window, key="push")
+        yield from ctx.poll_wait(
+            lambda: any(
+                c.received_bytes
+                for c in ctx.cmmd._recv_channels.values()
+            )
+        )
+    else:
+        channel = yield from ctx.cmmd.accept_channel(0, key="push")
+        yield from ctx.cmmd.write_channel(
+            channel, np.arange(8, dtype=np.float64)
+        )
+    yield from ctx.barrier()
+
+
+def test_unconsumed_channel_bytes_are_residual_not_violation():
+    """ALCP-MP's star updates are delivered but never waited on; the
+    default checker accounts for the bytes instead of failing."""
+    with check.checking() as checker:
+        machine = _make_machine()
+        machine.run(_push_program)
+    assert checker.checks["residual-channel-bytes"] == 64
+
+
+def test_strict_quiescence_rejects_unconsumed_channel_bytes():
+    with check.checking(check.Checker(strict_quiescence=True)):
+        machine = _make_machine()
+        with pytest.raises(CheckError) as exc:
+            machine.run(_push_program)
+        assert exc.value.invariant == "quiescence"
+        assert "unconsumed" in exc.value.detail

@@ -1,0 +1,62 @@
+"""Randomized stress programs, including Hypothesis-driven schedules."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.stress import (
+    _mp_schedule,
+    _sm_schedule,
+    run_mp_stress,
+    run_sm_stress,
+)
+
+_SETTINGS = dict(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def test_sm_stress_fixed_seed():
+    report = run_sm_stress(ops=160, seed=0)
+    assert report["sm_ops"] == 160
+    assert report["increments"] > 0
+    assert report["swmr"] > 0
+    assert report["data-value"] > 0
+    assert report["oracle-final"] >= 1
+
+
+def test_mp_stress_fixed_seed():
+    report = run_mp_stress(ops=80, seed=0)
+    assert report["mp_messages"] == 80
+    assert report["fifo"] > 0
+    assert report["conservation"] > 0
+    # Strict quiescence: the stress program drains everything.
+    assert "residual-packets" not in report
+    assert "residual-channel-bytes" not in report
+
+
+def test_mp_stress_needs_even_nprocs():
+    with pytest.raises(ValueError, match="even"):
+        run_mp_stress(ops=10, nprocs=3)
+
+
+def test_schedules_are_deterministic():
+    assert _sm_schedule(100, 7, 4) == _sm_schedule(100, 7, 4)
+    assert _mp_schedule(100, 7, 4) == _mp_schedule(100, 7, 4)
+    assert _sm_schedule(100, 7, 4) != _sm_schedule(100, 8, 4)
+
+
+@given(ops=st.integers(40, 160), seed=st.integers(0, 2**16))
+@settings(**_SETTINGS)
+def test_sm_stress_random_schedules(ops, seed):
+    report = run_sm_stress(ops=ops, seed=seed)
+    assert report["sm_ops"] == ops
+
+
+@given(ops=st.integers(20, 80), seed=st.integers(0, 2**16))
+@settings(**_SETTINGS)
+def test_mp_stress_random_schedules(ops, seed):
+    report = run_mp_stress(ops=ops, seed=seed)
+    assert report["mp_messages"] == ops

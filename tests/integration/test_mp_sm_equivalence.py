@@ -1,0 +1,79 @@
+"""Differential testing: each MP/SM pair computes the same answer.
+
+The paper's methodology rests on the two members of each pair being
+"equivalent programs"; here equivalence is checked on the *numbers*,
+not the cycle counts. Direct-method apps must agree exactly:
+
+* **Gauss** — identical elimination order, so the solution vector is
+  bit-identical across machines.
+* **LCP** — identical sweep order and step count, bit-identical z.
+* **EM3D** — the same stencil, but each machine gathers neighbor
+  values in a different order, so sums differ by float rounding only.
+
+**MSE** is *asynchronous* Jacobi with scheduled exchange: the MP
+version folds in deliberately stale remote solutions (the paper's
+communication-reducing schedule) while the SM version reads current
+shared memory. Fixed-iteration iterates therefore differ, but both
+contract to the same fixed point — asserted by the gap shrinking
+geometrically as iterations grow.
+"""
+
+import numpy as np
+
+from repro.apps.em3d.common import Em3dConfig
+from repro.apps.em3d.mp import run_em3d_mp
+from repro.apps.em3d.sm import run_em3d_sm
+from repro.apps.gauss.common import GaussConfig
+from repro.apps.gauss.mp import run_gauss_mp
+from repro.apps.gauss.sm import run_gauss_sm
+from repro.apps.lcp.common import LcpConfig
+from repro.apps.lcp.mp import run_lcp_mp
+from repro.apps.lcp.sm import run_lcp_sm
+from repro.apps.mse.common import MseConfig
+from repro.apps.mse.mp import run_mse_mp
+from repro.apps.mse.sm import run_mse_sm
+from repro.arch.params import MachineParams
+from repro.mp.machine import MpMachine
+from repro.sm.machine import SmMachine
+
+PARAMS = MachineParams.paper(num_processors=4)
+
+
+def test_gauss_solutions_identical():
+    config = GaussConfig.small(n=24)
+    _, x_mp = run_gauss_mp(MpMachine(PARAMS, seed=6), config)
+    _, x_sm = run_gauss_sm(SmMachine(PARAMS, seed=6), config)
+    assert np.array_equal(np.asarray(x_mp), np.asarray(x_sm))
+
+
+def test_lcp_solutions_identical():
+    config = LcpConfig.small(n=32, tolerance=1e-4)
+    _, z_mp, steps_mp = run_lcp_mp(MpMachine(PARAMS, seed=6), config)
+    _, z_sm, steps_sm = run_lcp_sm(SmMachine(PARAMS, seed=6), config)
+    assert steps_mp == steps_sm
+    assert np.array_equal(np.asarray(z_mp), np.asarray(z_sm))
+
+
+def test_em3d_fields_agree_to_rounding():
+    config = Em3dConfig.small(nodes_per_proc=16, degree=3, iterations=3)
+    _, e_mp, h_mp = run_em3d_mp(MpMachine(PARAMS, seed=6), config)
+    _, e_sm, h_sm = run_em3d_sm(SmMachine(PARAMS, seed=6), config)
+    np.testing.assert_allclose(e_mp, e_sm, rtol=1e-12, atol=1e-15)
+    np.testing.assert_allclose(h_mp, h_sm, rtol=1e-12, atol=1e-15)
+
+
+def _mse_gap(iterations):
+    config = MseConfig.small(bodies=8, elements_per_body=3,
+                             iterations=iterations)
+    _, sol_mp = run_mse_mp(MpMachine(PARAMS, seed=6), config)
+    _, sol_sm = run_mse_sm(SmMachine(PARAMS, seed=6), config)
+    sol_mp, sol_sm = np.asarray(sol_mp), np.asarray(sol_sm)
+    return float(np.max(np.abs(sol_mp - sol_sm)) / np.max(np.abs(sol_sm)))
+
+
+def test_mse_converges_to_the_same_fixed_point():
+    gap_short = _mse_gap(iterations=8)
+    gap_long = _mse_gap(iterations=16)
+    assert gap_long < 1e-5
+    # Geometric contraction: more iterations close the staleness gap.
+    assert gap_long < gap_short / 10

@@ -183,3 +183,50 @@ def test_strategy_affects_cost():
         result = machine.run(program)
         totals[strategy] = result.elapsed_cycles
     assert totals["lopsided"] < totals["binary"] < totals["flat"]
+
+
+def test_reduce_folds_each_contribution_exactly_once(machine8):
+    """Tuple concatenation looks non-commutative to the tree: whatever
+    fold order the tree picks, every contribution must appear exactly
+    once in the root's result."""
+    got = {}
+
+    def program(ctx):
+        result = yield from ctx.coll.reduce(
+            (ctx.pid,), lambda a, b: a + b, root=2
+        )
+        got[ctx.pid] = result
+
+    machine8.run(program)
+    assert sorted(got[2]) == list(range(8))
+    assert all(got[p] is None for p in range(8) if p != 2)
+
+
+@pytest.mark.parametrize("strategy", ["flat", "binary", "lopsided"])
+def test_float_sum_deterministic_per_strategy(strategy):
+    """Floating-point addition is order-sensitive; each tree shape must
+    fold operands in a fixed order (bit-identical across runs) and stay
+    within rounding of the true sum."""
+    import math
+
+    values = [(-1.0) ** p * 10.0 ** (p % 5) for p in range(8)]
+    exact = math.fsum(values)
+
+    def program(ctx):
+        result = yield from ctx.coll.allreduce(
+            values[ctx.pid], lambda a, b: a + b
+        )
+        return result
+
+    results = []
+    for _ in range(2):
+        machine = MpMachine(
+            MachineParams.paper(num_processors=8),
+            seed=3,
+            collective_strategy=strategy,
+        )
+        outputs = machine.run(program).outputs
+        assert len(set(outputs)) == 1  # allreduce agrees everywhere
+        results.append(outputs[0])
+    assert results[0] == results[1]  # bit-identical across runs
+    assert results[0] == pytest.approx(exact, rel=1e-12)

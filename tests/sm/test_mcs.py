@@ -168,3 +168,41 @@ def test_custom_context_reduction(machine4):
     result = machine4.run(program)
     assert result.board.mean_cycles(SmCat.SYNC_COMPUTE) > 0
     assert result.board.mean_cycles(SmCat.REDUCTION) == 0
+
+
+def test_lock_handoff_is_fifo(machine8):
+    """MCS fairness: the lock passes to waiters in arrival order.
+
+    Contenders arrive 500 cycles apart while the first holder sits in a
+    long critical section, so the queue order is unambiguous; each
+    handoff must follow it exactly.
+    """
+    lock = machine8.make_lock("l")
+    order = []
+
+    def program(ctx):
+        yield from ctx.compute(500 * ctx.pid + 10)
+        yield from lock.acquire(ctx)
+        order.append(ctx.pid)
+        yield from ctx.compute(3000)
+        yield from lock.release(ctx)
+
+    machine8.run(program)
+    assert order == list(range(8))
+
+
+def test_lock_handoff_follows_arrival_not_pid(machine8):
+    """Reversing the stagger reverses the handoff order: the queue
+    tracks arrival, with no bias toward low processor ids."""
+    lock = machine8.make_lock("l")
+    order = []
+
+    def program(ctx):
+        yield from ctx.compute(500 * (7 - ctx.pid) + 10)
+        yield from lock.acquire(ctx)
+        order.append(ctx.pid)
+        yield from ctx.compute(3000)
+        yield from lock.release(ctx)
+
+    machine8.run(program)
+    assert order == list(range(7, -1, -1))
