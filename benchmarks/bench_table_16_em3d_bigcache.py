@@ -7,13 +7,13 @@ factor relative to the working set.
 """
 
 from benchmarks.helpers import banner, run_and_check
-from repro.core.experiments import run_experiment
+from repro.api import run_raw
 from repro.core.tables import render_sm_breakdown
 
 
 def test_table_16_em3d_sm_big_cache(benchmark):
     pair = run_and_check(benchmark, "em3d_bigcache")
-    base = run_experiment("em3d")
+    base = run_raw("em3d")
     print(banner("Table 16: EM3D-SM main loop with a 4x cache"))
     print(render_sm_breakdown(pair, phase="main"))
     base_misses = base.sm_counts(phase="main").shared_misses

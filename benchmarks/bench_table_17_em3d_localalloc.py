@@ -7,13 +7,13 @@ runs in two thirds of the time.
 """
 
 from benchmarks.helpers import banner, run_and_check
-from repro.core.experiments import run_experiment
+from repro.api import run_raw
 from repro.core.tables import render_sm_breakdown
 
 
 def test_table_17_em3d_sm_local_allocation(benchmark):
     pair = run_and_check(benchmark, "em3d_localalloc")
-    base = run_experiment("em3d")
+    base = run_raw("em3d")
     print(banner("Table 17: EM3D-SM main loop with local allocation"))
     print(render_sm_breakdown(pair, phase="main"))
     base_remote = base.sm_counts(phase="main").remote_fraction

@@ -1,13 +1,13 @@
 """Paper Tables 20 and 21: asynchronous LCP time breakdowns."""
 
 from benchmarks.helpers import banner, run_and_check
-from repro.core.experiments import run_experiment
+from repro.api import run_raw
 from repro.core.tables import render_mp_breakdown, render_sm_breakdown
 
 
 def test_table_20_alcp_mp_breakdown(benchmark):
     pair = run_and_check(benchmark, "alcp")
-    sync = run_experiment("lcp")
+    sync = run_raw("lcp")
     print(banner("Table 20: Asynchronous LCP, Message Passing"))
     print(render_mp_breakdown(pair))
     print(f"\nsteps: {pair.extra['mp_steps']} async vs "
@@ -22,7 +22,7 @@ def test_table_20_alcp_mp_breakdown(benchmark):
 
 def test_table_21_alcp_sm_breakdown(benchmark):
     pair = run_and_check(benchmark, "alcp")
-    sync = run_experiment("lcp")
+    sync = run_raw("lcp")
     print(banner("Table 21: Asynchronous LCP, Shared Memory"))
     print(render_sm_breakdown(pair))
     # Data-access share rises sharply vs synchronous (paper: 20% -> 64%).

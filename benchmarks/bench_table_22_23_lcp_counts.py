@@ -1,14 +1,14 @@
 """Paper Tables 22 and 23: LCP event counts, synchronous vs asynchronous."""
 
 from benchmarks.helpers import banner, run_and_check
-from repro.core.experiments import run_experiment
+from repro.api import run_raw
 from repro.core.tables import render_mp_counts, render_sm_counts
 from repro.stats.report import format_comparison, human_quantity
 
 
 def test_table_22_lcp_mp_counts(benchmark):
     async_pair = run_and_check(benchmark, "alcp")
-    sync_pair = run_experiment("lcp")
+    sync_pair = run_raw("lcp")
     print(banner("Table 22: LCP-MP event counts, sync vs async"))
     sync_counts, async_counts = sync_pair.mp_counts(), async_pair.mp_counts()
     print(
@@ -44,7 +44,7 @@ def test_table_22_lcp_mp_counts(benchmark):
 
 def test_table_23_lcp_sm_counts(benchmark):
     async_pair = run_and_check(benchmark, "alcp")
-    sync_pair = run_experiment("lcp")
+    sync_pair = run_raw("lcp")
     print(banner("Table 23: LCP-SM event counts, sync vs async"))
     print(render_sm_counts(sync_pair))
     print()

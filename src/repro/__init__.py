@@ -14,18 +14,24 @@ Public surface:
   of the paper's evaluation);
 * the run harness: :mod:`repro.runner` (parameterized configs, a
   content-addressed on-disk result cache, and a multiprocessing
-  executor behind ``python -m repro run --jobs N``).
+  executor behind ``python -m repro run --jobs N``);
+* sensitivity sweeps: :mod:`repro.sweep` (declarative grids over
+  latency/cache/procs axes with machine-checked curve shapes);
+* the stable programmatic facade: :mod:`repro.api` — import from
+  there, not from the implementing modules.
 
 Quick taste::
 
-    from repro.core import run_experiment, get_experiment
-    pair = run_experiment("gauss")
+    from repro import api
+    pair = api.run_raw("gauss")
     print(f"Gauss-MP runs at {100 * pair.mp_relative_to_sm:.0f}% of Gauss-SM")
+    result = api.sweep("em3d-latency")
 
 or, from a shell::
 
     python -m repro list
     python -m repro run em3d --jobs 4
+    python -m repro sweep em3d-latency
     python -m repro cache ls
 """
 

@@ -1,0 +1,75 @@
+"""The stable programmatic facade over the repro harness.
+
+Everything a script, notebook, benchmark, or downstream tool should
+need lives here, re-exported from the subsystems that implement it:
+
+* :func:`resolve_config` — an experiment's frozen
+  :class:`~repro.runner.config.ExperimentConfig`, with overrides
+  applied (unknown override keys raise with a did-you-mean).
+* :func:`run_raw` — one in-process simulation, memoized per
+  configuration; returns the experiment's live result object.
+* :func:`record_for` — one serializable
+  :class:`~repro.runner.record.RunRecord`, disk-cache first.
+* :func:`execute` — many experiments fanned out over worker
+  processes, cache-aware.
+* :func:`sweep` — a declarative sensitivity sweep
+  (:class:`SweepSpec` or a shipped spec name) through the same
+  executor and cache; returns a :class:`SweepResult`.
+
+Import from ``repro.api`` rather than the implementing modules:
+the facade is the surface the project promises to keep stable across
+internal refactors (the wrapper it replaced,
+``repro.core.experiments.run_experiment``, is deprecated).
+
+>>> from repro import api
+>>> pair = api.run_raw("gauss", overrides={"app": {"n": 64}})
+>>> record = api.record_for("mse")
+>>> result = api.sweep("em3d-latency")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.runner.api import (
+    clear_memory_cache,
+    execute,
+    record_for,
+    resolve_config,
+    run_raw,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.config import ExperimentConfig
+from repro.runner.record import RunRecord
+from repro.sweep import SweepResult, SweepSpec, get_sweep, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ResultCache",
+    "RunRecord",
+    "SweepResult",
+    "SweepSpec",
+    "clear_memory_cache",
+    "execute",
+    "get_sweep",
+    "record_for",
+    "resolve_config",
+    "run_raw",
+    "sweep",
+]
+
+
+def sweep(
+    spec: Union[str, SweepSpec],
+    axes: Optional[Mapping[str, Sequence[Any]]] = None,
+    **kwargs: Any,
+) -> SweepResult:
+    """Run one sensitivity sweep; accepts a shipped spec name.
+
+    ``axes`` replaces (or appends) axis value lists; remaining keyword
+    arguments pass through to :func:`repro.sweep.run_sweep`
+    (``jobs``, ``cache``, ``force``, ``resume``, ``progress``, ...).
+    """
+    if isinstance(spec, str):
+        spec = get_sweep(spec)
+    return run_sweep(spec, axes=axes, **kwargs)

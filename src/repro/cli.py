@@ -23,9 +23,19 @@ Commands:
 * ``python -m repro run --check ...`` — run experiments with the
   invariant checker installed (in-process, cache bypassed), proving a
   record was produced by a violation-free simulation;
+* ``python -m repro sweep <spec> [--axis k=v1,v2,... --jobs N --json
+  PATH --csv PATH --force --resume]`` — a declarative sensitivity
+  sweep (``repro.sweep``): grid expansion, cache-aware sharded
+  execution, ASCII curve plots, crossover detection, and the spec's
+  machine-checked shape assertions;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
   inspect or drop the on-disk result cache;
-* ``python -m repro fidelity`` — the paper-vs-run scorecard.
+* ``python -m repro fidelity [--json PATH]`` — the paper-vs-run
+  scorecard.
+
+The shared flags (``--jobs/--json/--force/--no-cache``) are defined
+once (:func:`flags_parent`) and hoisted into each subcommand, so they
+spell and behave identically everywhere.
 """
 
 from __future__ import annotations
@@ -41,6 +51,31 @@ from repro.runner.api import execute
 from repro.runner.cache import ResultCache
 from repro.runner.executor import default_jobs
 from repro.runner.record import RunRecord
+
+# ---------------------------------------------------------------------------
+# Shared flags: one definition each, hoisted into argparse parent parsers
+# so `run`, `trace`, `sweep`, and `fidelity` spell them identically.
+# ---------------------------------------------------------------------------
+
+_FLAG_DEFS = {
+    "jobs": (("--jobs", "-j"), dict(type=int, default=None, metavar="N",
+             help="worker processes (default: cpu count)")),
+    "json": (("--json",), dict(metavar="PATH",
+             help="export results as JSON")),
+    "force": (("--force",), dict(action="store_true",
+              help="re-simulate even on a cache hit")),
+    "no-cache": (("--no-cache",), dict(action="store_true",
+                 help="bypass the on-disk result cache entirely")),
+}
+
+
+def flags_parent(*names: str) -> argparse.ArgumentParser:
+    """A parent parser carrying the named shared flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    for name in names:
+        flags, options = _FLAG_DEFS[name]
+        parent.add_argument(*flags, **options)
+    return parent
 
 
 def _print_record(record: RunRecord) -> bool:
@@ -156,13 +191,108 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fidelity(_args: argparse.Namespace) -> int:
+def cmd_fidelity(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
     from repro.core.fidelity import assess_all, render_scorecard
 
     print("running the five pair experiments (cached if already run)...")
     rows = assess_all()
     print()
     print(render_scorecard(rows))
+    if args.json:
+        payload = [
+            dict(asdict(row), abs_error=round(row.abs_error, 3))
+            for row in rows
+        ]
+        try:
+            Path(args.json).write_text(json.dumps(payload, indent=1))
+        except OSError as exc:
+            print(f"repro fidelity: error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {len(payload)} fidelity rows to {args.json}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import get_sweep, parse_axis_flag, render_plots, run_sweep
+
+    try:
+        spec = get_sweep(args.spec)
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+
+    axes = {}
+    try:
+        for flag in args.axis or []:
+            name, values = parse_axis_flag(flag)
+            axes[name] = values
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done, total, point, record, simulated):
+        source = f"{record.elapsed_seconds:.1f}s" if simulated else "cached"
+        print(f"[{done}/{total}] {spec.exp_id}({point.label()}) ({source})",
+              file=sys.stderr, flush=True)
+
+    try:
+        result = run_sweep(
+            spec,
+            axes=axes or None,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            force=args.force,
+            resume=args.resume,
+            progress=progress,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+
+    print("=" * 72)
+    print(f"sweep {result.spec_name}: {result.exp_id} over "
+          + " x ".join(f"{a}={list(v)}" for a, v in result.axes))
+    print("=" * 72)
+    print(result.render_table())
+    print()
+    print(render_plots(result))
+    if result.crossovers or result.checks:
+        print()
+    for probe in result.crossovers:
+        mark = "x" if probe["crossed"] else "-"
+        print(f"  [{mark}] crossover {probe['name']}: {probe['detail']}")
+    all_ok = True
+    for name, ok, detail in result.checks:
+        mark = "PASS" if ok else "FAIL"
+        all_ok &= bool(ok)
+        print(f"  [{mark}] {name}: {detail}")
+    meta = result.meta
+    print(f"\n({meta['points']} points: {meta['simulated']} simulated, "
+          f"{meta['cached']} cached, {meta['elapsed_seconds']:.1f}s)")
+
+    for attr, prog_hint, text in (
+        ("json", "JSON", json.dumps(result.to_jsonable(), indent=1,
+                                    sort_keys=True)),
+        ("csv", "CSV", result.to_csv()),
+    ):
+        path = getattr(args, attr)
+        if not path:
+            continue
+        try:
+            Path(path).write_text(text)
+        except OSError as exc:
+            print(f"repro sweep: error: cannot write {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote sweep {prog_hint} to {path}", file=sys.stderr)
+
+    if not all_ok:
+        print("sweep shape checks failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -235,8 +365,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     cache = ResultCache()
 
     # A stored trace re-renders without re-simulating, unless the caller
-    # asks for a different slice of the run (or --force).
-    reusable = not args.force and args.procs is None and args.max_events is None
+    # asks for a different slice of the run (or --force / --no-cache).
+    reusable = (not args.force and not args.no_cache
+                and args.procs is None and args.max_events is None)
     if reusable:
         record = cache.load(config)
         if record is not None and record.trace_path:
@@ -385,24 +516,38 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list experiments")
     list_parser.set_defaults(handler=cmd_list)
 
-    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments",
+        parents=[flags_parent("jobs", "json", "force", "no-cache")],
+    )
     run_parser.add_argument("experiments", nargs="*", metavar="ID",
                             help="experiment ids (see `list`)")
     run_parser.add_argument("--all", action="store_true",
                             help="run the whole evaluation section")
-    run_parser.add_argument("--jobs", "-j", type=int, default=None,
-                            metavar="N",
-                            help="worker processes (default: cpu count)")
-    run_parser.add_argument("--json", metavar="PATH",
-                            help="export the run records as JSON")
-    run_parser.add_argument("--no-cache", action="store_true",
-                            help="bypass the on-disk result cache entirely")
-    run_parser.add_argument("--force", action="store_true",
-                            help="re-simulate even on a cache hit")
     run_parser.add_argument("--check", action="store_true",
                             help="simulate with the invariant checker "
                                  "installed (forces --jobs 1, no cache)")
     run_parser.set_defaults(handler=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative sensitivity sweep (grid over one or two "
+             "axes, cache-aware, with machine-checked curve shapes)",
+        parents=[flags_parent("jobs", "json", "force", "no-cache")],
+    )
+    sweep_parser.add_argument("spec", metavar="SPEC",
+                              help="shipped sweep name (em3d-latency, "
+                                   "em3d-cache, gauss-speedup)")
+    sweep_parser.add_argument("--axis", action="append", metavar="K=V1,V2,...",
+                              help="replace (or add) an axis value list, "
+                                   "e.g. --axis net_latency=0,50,100; "
+                                   "repeatable")
+    sweep_parser.add_argument("--csv", metavar="PATH",
+                              help="export the point grid as CSV")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="pick the spec's most recent manifest "
+                                   "back up (reuses its axes)")
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     bench_parser = subparsers.add_parser(
         "bench", help="kernel/microbenchmark suite with regression gate"
@@ -426,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one experiment with the timeline tracer; "
              "emit Chrome Trace JSON + ASCII timeline",
+        parents=[flags_parent("force", "no-cache")],
     )
     trace_parser.add_argument("experiment", metavar="ID",
                               help="experiment id (see `list`)")
@@ -440,9 +586,6 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="N",
                               help="cap on stored trace records "
                                    "(default: 250000)")
-    trace_parser.add_argument("--force", action="store_true",
-                              help="re-simulate even when the cached record "
-                                   "already has a trace attached")
     trace_parser.set_defaults(handler=cmd_trace)
 
     check_parser = subparsers.add_parser(
@@ -479,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     fidelity_parser = subparsers.add_parser(
         "fidelity",
         help="scorecard: category shares, paper vs. the scaled runs",
+        parents=[flags_parent("json")],
     )
     fidelity_parser.set_defaults(handler=cmd_fidelity)
     return parser

@@ -8,9 +8,11 @@ picklable and parameterizable — so the :mod:`repro.runner` harness can
 execute them in worker processes, sweep them with overrides, and cache
 their results content-addressed on disk.
 
-:func:`run_experiment` remains as a thin compatibility wrapper over
-:func:`repro.runner.api.run_raw` (in-process, memoized per
-configuration); ``python -m repro run`` goes through the full harness.
+The stable programmatic surface is :mod:`repro.api`
+(``run_raw``/``record_for``/``execute``/``sweep``);
+:func:`run_experiment` remains one release as a deprecated wrapper
+over ``run_raw``. ``python -m repro run`` goes through the full
+harness.
 
 Scale: the paper's runs are hundreds of millions to billions of target
 cycles on 32 processors; a pure-Python event simulation reproduces
@@ -77,14 +79,22 @@ def get_experiment(exp_id: str) -> ExperimentSpec:
 
 
 def run_experiment(exp_id: str, overrides: Dict[str, Any] = None) -> Any:
-    """Run one experiment in-process (memoized per configuration).
+    """Deprecated: use :func:`repro.api.run_raw`.
 
-    Compatibility wrapper over :func:`repro.runner.api.run_raw`.
-    ``overrides`` parameterizes sweeps, e.g.
-    ``run_experiment("gauss", overrides={"app": {"n": 64}})``.
+    Thin compatibility wrapper kept one release for old scripts;
+    :mod:`repro.api` is the stable surface
+    (``run_raw("gauss", overrides={"app": {"n": 64}})`` is the direct
+    equivalent).
     """
     from repro.runner.api import run_raw
 
+    warnings.warn(
+        "repro.core.experiments.run_experiment() is deprecated; use "
+        "repro.api.run_raw() (same semantics) or repro.api.record_for() "
+        "for cached, serializable records",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_raw(exp_id, overrides)
 
 
@@ -511,7 +521,9 @@ def _em3d_shape(pair: PairResult) -> List[ShapeCheck]:
 
 
 def _em3d_bigcache_shape(pair: PairResult) -> List[ShapeCheck]:
-    base = run_experiment("em3d")
+    from repro.runner.api import run_raw
+
+    base = run_raw("em3d")
     base_sm = base.sm_breakdown(phase="main")
     big_sm = pair.sm_breakdown(phase="main")
     base_misses = base.sm_counts(phase="main").shared_misses
@@ -526,7 +538,9 @@ def _em3d_bigcache_shape(pair: PairResult) -> List[ShapeCheck]:
 
 
 def _em3d_localalloc_shape(pair: PairResult) -> List[ShapeCheck]:
-    base = run_experiment("em3d")
+    from repro.runner.api import run_raw
+
+    base = run_raw("em3d")
     base_remote = base.sm_counts(phase="main").remote_fraction
     local_remote = pair.sm_counts(phase="main").remote_fraction
     base_total = base.sm_breakdown(phase="main").total
@@ -582,7 +596,9 @@ def _lcp_shape(pair: PairResult) -> List[ShapeCheck]:
 
 
 def _alcp_shape(pair: PairResult) -> List[ShapeCheck]:
-    sync = run_experiment("lcp")
+    from repro.runner.api import run_raw
+
+    sync = run_raw("lcp")
     sync_steps = sync.extra["sm_steps"]
     async_steps = pair.extra["sm_steps"]
     sync_intensity = sync.mp_counts().comp_cycles_per_data_byte

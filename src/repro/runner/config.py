@@ -11,14 +11,42 @@ zero-argument closure over module globals. That makes runs
 * **content-addressable** — :meth:`ExperimentConfig.to_jsonable`
   canonicalizes the full configuration (including the resolved
   :class:`~repro.arch.params.MachineParams`) for the cache key.
+
+Unknown override keys raise :class:`ValueError` with a closest-known-key
+suggestion, so a sweep-axis typo fails loudly instead of silently
+sweeping nothing.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import asdict, dataclass, fields, is_dataclass, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-from repro.arch.params import MachineParams
+from repro.arch.params import CommonParams, MachineParams
+
+#: CommonParams fields a config may override via the ``machine`` channel.
+#: ``num_processors`` and ``cache_bytes`` are excluded: they have
+#: first-class config fields (``procs``, ``cache_bytes``).
+MACHINE_FIELDS = tuple(
+    f.name
+    for f in fields(CommonParams)
+    if f.name not in ("num_processors", "cache_bytes")
+)
+
+
+def suggest(name: str, known: Iterable[str]) -> str:
+    """A did-you-mean suffix for an unknown-key error, or ''."""
+    matches = difflib.get_close_matches(name, list(known), n=1, cutoff=0.5)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def _reject_unknown(name: str, known: Iterable[str], where: str) -> None:
+    known = sorted(known)
+    raise ValueError(
+        f"unknown {where} override {name!r}{suggest(name, known)}; "
+        f"known: {known}"
+    )
 
 
 @dataclass(frozen=True)
@@ -30,7 +58,10 @@ class ExperimentConfig:
     ``options`` holds experiment-specific knobs as a sorted tuple of
     ``(name, value)`` pairs so the config stays hashable and frozen;
     values must be JSON-representable (str/int/float/bool or tuples
-    thereof).
+    thereof). ``machine`` holds :class:`~repro.arch.params.CommonParams`
+    overrides the same way (``network_latency``, ``block_bytes``,
+    ``tlb_entries``, ...) — the sensitivity-sweep axes that are machine
+    knobs rather than workload knobs.
     """
 
     exp_id: str
@@ -39,11 +70,18 @@ class ExperimentConfig:
     cache_bytes: Optional[int] = None
     app: Any = None
     options: Tuple[Tuple[str, Any], ...] = ()
+    machine: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "options", tuple(sorted((str(k), v) for k, v in self.options))
         )
+        object.__setattr__(
+            self, "machine", tuple(sorted((str(k), v) for k, v in self.machine))
+        )
+        for key, _value in self.machine:
+            if key not in MACHINE_FIELDS:
+                _reject_unknown(key, MACHINE_FIELDS, "machine")
 
     # -- accessors ---------------------------------------------------------
 
@@ -61,6 +99,10 @@ class ExperimentConfig:
     def machine_params(self, procs: Optional[int] = None) -> MachineParams:
         """The resolved machine for this run (paper's Tables 1-3 base)."""
         params = MachineParams.paper(num_processors=procs or self.procs)
+        if self.machine:
+            params = replace(
+                params, common=replace(params.common, **dict(self.machine))
+            )
         if self.cache_bytes is not None:
             params = params.with_cache_bytes(self.cache_bytes)
         return params
@@ -73,25 +115,37 @@ class ExperimentConfig:
         Top-level field names (``procs``, ``seed``, ``cache_bytes``)
         replace directly. ``app`` accepts either a full replacement
         config or a mapping of app-config fields to replace.
-        ``options`` accepts a mapping merged over the existing options.
+        ``options`` and ``machine`` accept mappings merged over the
+        existing tuples. Unknown keys — at the top level, inside an
+        ``app`` mapping, or inside a ``machine`` mapping — raise
+        :class:`ValueError` with a closest-match suggestion.
         """
+        field_names = {f.name for f in fields(self)}
         changes: Dict[str, Any] = {}
         for name, value in overrides.items():
             if name == "app" and isinstance(value, Mapping):
                 if self.app is None:
                     raise ValueError(f"{self.exp_id} has no app config to override")
+                app_fields = {f.name for f in fields(self.app)}
+                for key in value:
+                    if key not in app_fields:
+                        _reject_unknown(key, app_fields, "app")
                 changes["app"] = replace(self.app, **value)
             elif name == "options":
                 merged = dict(self.options)
                 merged.update(value)
                 changes["options"] = tuple(sorted(merged.items()))
-            elif name in {f.name for f in fields(self)}:
+            elif name == "machine":
+                for key in value:
+                    if key not in MACHINE_FIELDS:
+                        _reject_unknown(key, MACHINE_FIELDS, "machine")
+                merged = dict(self.machine)
+                merged.update(value)
+                changes["machine"] = tuple(sorted(merged.items()))
+            elif name in field_names:
                 changes[name] = value
             else:
-                raise KeyError(
-                    f"unknown override {name!r} for {self.exp_id}; "
-                    f"fields: {[f.name for f in fields(self)]}"
-                )
+                _reject_unknown(name, field_names, f"{self.exp_id} config")
         return replace(self, **changes)
 
     # -- canonicalization --------------------------------------------------
@@ -101,7 +155,9 @@ class ExperimentConfig:
 
         Includes the resolved machine parameters so that a change to
         any Table 1-3 default invalidates cached results even without
-        a code-salt bump.
+        a code-salt bump. The ``machine`` override tuple needs no entry
+        of its own: its effect is entirely contained in the resolved
+        parameters, so two spellings of the same machine share a key.
         """
         return {
             "exp_id": self.exp_id,

@@ -69,6 +69,26 @@ def plan_groups(items: Sequence[WorkItem]) -> List[List[WorkItem]]:
     return planned
 
 
+def plan_batches(
+    items: Sequence[WorkItem], jobs: int, max_batch: int = 4
+) -> List[List[WorkItem]]:
+    """Chunk *independent* work items into worker-sized batches.
+
+    Sweep points have no ``after`` dependencies, so unlike
+    :func:`plan_groups` there is nothing to co-locate; the only goal is
+    to amortize worker spawn cost without giving one worker so much
+    work that an interrupted run loses a long batch (each batch's
+    records reach the parent — and the on-disk cache — only when the
+    whole batch finishes). Batches are contiguous, at most ``max_batch``
+    items, and sized so all ``jobs`` workers stay busy.
+    """
+    if not items:
+        return []
+    jobs = max(1, jobs)
+    size = max(1, min(max_batch, (len(items) + jobs - 1) // jobs))
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
 def run_group(items: Sequence[WorkItem]) -> List[RunRecord]:
     """Run one group serially in this process; the worker entry point.
 

@@ -1,0 +1,97 @@
+"""Curve analysis over sweep series: crossovers and shape helpers.
+
+The paper's sensitivity conclusions are statements about curve
+*shapes* — a ratio shrinking monotonically toward a crossover, a share
+falling off a cliff below a cache size, a speedup curve staying
+monotone. These helpers turn those statements into machine-checked
+assertions over ``(x, y)`` series extracted from a finished sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def find_crossover(
+    xs: Sequence[float], ys: Sequence[float], level: float
+) -> Optional[float]:
+    """The first x at which ``ys`` crosses ``level``, interpolated.
+
+    Scans the series in order; an exact touch counts as a crossing.
+    Returns ``None`` when the series stays on one side of the level.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("crossover needs two equal-length non-empty series")
+    prev_x, prev_y = xs[0], ys[0]
+    if prev_y == level:
+        return float(prev_x)
+    for x, y in zip(xs[1:], ys[1:]):
+        if y == level:
+            return float(x)
+        if (prev_y - level) * (y - level) < 0:
+            # Linear interpolation inside the bracketing segment.
+            frac = (level - prev_y) / (y - prev_y)
+            return float(prev_x + frac * (x - prev_x))
+        prev_x, prev_y = x, y
+    return None
+
+
+def crossover_report(
+    name: str,
+    axis: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    metric: str,
+    level: float,
+    description: str = "",
+) -> Dict[str, Any]:
+    """A serializable crossover verdict for one probe."""
+    at = find_crossover(xs, ys, level)
+    if at is not None:
+        detail = f"{metric} crosses {level:g} at {axis} ~ {at:g}"
+    else:
+        lo, hi = min(ys), max(ys)
+        side = "above" if lo > level else "below"
+        detail = (
+            f"{metric} stays {side} {level:g} over {axis} in "
+            f"[{min(xs):g}, {max(xs):g}] (range {lo:.3g}..{hi:.3g})"
+        )
+    return {
+        "name": name,
+        "metric": metric,
+        "level": level,
+        "axis": axis,
+        "crossed": at is not None,
+        "at": at,
+        "detail": description + (": " if description else "") + detail,
+    }
+
+
+def monotone(
+    ys: Sequence[float], increasing: bool, strict: bool = False,
+    tolerance: float = 0.0,
+) -> bool:
+    """Is the series monotone in the given direction?
+
+    ``tolerance`` forgives counter-direction steps up to that size
+    (absolute), for shares that flatten into noise past a knee.
+    """
+    for prev, cur in zip(ys, ys[1:]):
+        step = cur - prev if increasing else prev - cur
+        if strict and step <= 0:
+            return False
+        if not strict and step < -tolerance:
+            return False
+    return True
+
+
+def fmt_series(ys: Sequence[float]) -> str:
+    """Compact series rendering for check detail strings."""
+    return " -> ".join(f"{y:.3g}" for y in ys)
+
+
+def speedup_vs_first(ys: Sequence[float]) -> List[float]:
+    """Parallel speedup of a totals series against its first point."""
+    if not ys or ys[0] == 0:
+        raise ValueError("speedup needs a non-empty series with ys[0] != 0")
+    return [ys[0] / y if y else float("inf") for y in ys]

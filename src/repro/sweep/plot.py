@@ -1,0 +1,184 @@
+"""ASCII curve plots for sweep results.
+
+One chart per metric, in the same terminal-first style as
+:mod:`repro.trace.timeline`: a titled box, a single-character legend,
+and ``.``-padded plot rows. Series glyphs mark the measured points;
+when a crossover probe fired, its level is drawn as a rule and the
+interpolated crossing is annotated beneath the axis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.stats.report import human_quantity
+
+#: Glyphs cycled across series (rows of a two-axis sweep).
+_GLYPHS = "o*x+#@%&"
+
+
+def render_plot(
+    result: Any, metric: str, width: int = 60, height: int = 12
+) -> str:
+    """One metric's curve(s) over the first axis, as ASCII art."""
+    axis = result.axis_names[0]
+    series = _series_for(result, metric)
+    if not series:
+        return f"(no points for metric {metric!r})"
+    xs = series[0][1]
+    level = _crossover_level(result, metric)
+
+    all_ys = [y for _label, _xs, ys in series for y in ys]
+    lo, hi = min(all_ys), max(all_ys)
+    if level is not None:
+        lo, hi = min(lo, level), max(hi, level)
+    if hi == lo:  # flat series still gets a visible band
+        pad = abs(hi) * 0.05 or 1.0
+        lo, hi = lo - pad, hi + pad
+    span = hi - lo
+
+    columns = _x_columns(xs, width)
+    grid = [[" "] * width for _ in range(height)]
+
+    if level is not None:
+        row = _y_row(level, lo, span, height)
+        for col in range(width):
+            grid[row][col] = "-"
+
+    for index, (_label, _sxs, ys) in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        prev: Optional[Tuple[int, int]] = None
+        for col, y in zip(columns, ys):
+            row = _y_row(y, lo, span, height)
+            if prev is not None:
+                _connect(grid, prev, (col, row))
+            grid[row][col] = glyph
+            prev = (col, row)
+
+    title = f"{result.spec_name}: {metric} vs {axis}"
+    lines = [title, "-" * max(44, len(title))]
+    if len(series) > 1 or series[0][0]:
+        legend = "  ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]}={label or metric}"
+            for i, (label, _xs, _ys) in enumerate(series)
+        )
+        lines.append(f"legend: {legend}")
+    label_width = max(len(_fmt_y(lo)), len(_fmt_y(hi))) + 1
+    for row in range(height):
+        value = hi - span * (row + 0.5) / height
+        tick = _fmt_y(value) if row in (0, height - 1) else (
+            _fmt_y(level) if level is not None
+            and row == _y_row(level, lo, span, height) else ""
+        )
+        lines.append(f"{tick:>{label_width}} |{''.join(grid[row])}|")
+    lines.append(f"{'':>{label_width}} +{'-' * width}+")
+    lines.append(f"{'':>{label_width}}  {_x_axis_labels(xs, columns, width)}")
+    lines.append(f"{'':>{label_width}}  {axis}")
+    lines.extend(_crossover_notes(result, metric, label_width))
+    return "\n".join(lines).rstrip()
+
+
+def render_plots(result: Any, width: int = 60, height: int = 12) -> str:
+    """All declared metrics, one chart each, blank-line separated."""
+    return "\n\n".join(
+        render_plot(result, metric, width=width, height=height)
+        for metric in result.metrics
+    )
+
+
+# -- layout helpers --------------------------------------------------------
+
+
+def _series_for(
+    result: Any, metric: str
+) -> List[Tuple[str, List[Any], List[float]]]:
+    """``[(label, xs, ys)]`` — one series per second-axis row."""
+    if len(result.axis_names) == 1:
+        xs, ys = result.series(metric)
+        return [("", xs, ys)] if xs else []
+    second, values = result.axes[1]
+    out = []
+    for value in values:
+        xs, ys = result.series(metric, where={second: value})
+        if xs:
+            out.append((f"{second}={value}", xs, ys))
+    return out
+
+
+def _x_columns(xs: Sequence[Any], width: int) -> List[int]:
+    """Column index of each x point, spaced by value when numeric."""
+    if len(xs) == 1:
+        return [width // 2]
+    numeric = all(isinstance(x, (int, float)) for x in xs)
+    if numeric and max(xs) > min(xs):
+        span = max(xs) - min(xs)
+        return [
+            min(width - 1, int((x - min(xs)) / span * (width - 1)))
+            for x in xs
+        ]
+    return [
+        int(i * (width - 1) / (len(xs) - 1)) for i in range(len(xs))
+    ]
+
+
+def _y_row(y: float, lo: float, span: float, height: int) -> int:
+    frac = (y - lo) / span
+    return max(0, min(height - 1, int(round((1.0 - frac) * (height - 1)))))
+
+
+def _connect(
+    grid: List[List[str]], a: Tuple[int, int], b: Tuple[int, int]
+) -> None:
+    """Faint interpolation dots between consecutive points."""
+    (c0, r0), (c1, r1) = a, b
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    for step in range(1, steps):
+        col = c0 + round((c1 - c0) * step / steps)
+        row = r0 + round((r1 - r0) * step / steps)
+        if grid[row][col] in (" ", "-"):
+            grid[row][col] = "."
+
+
+def _x_axis_labels(
+    xs: Sequence[Any], columns: Sequence[int], width: int
+) -> str:
+    line = [" "] * (width + 8)
+    for x, col in zip(xs, columns):
+        text = _fmt_x(x)
+        start = max(0, min(col - len(text) // 2, width + 8 - len(text)))
+        if all(line[i] == " " for i in range(start, start + len(text))):
+            line[start:start + len(text)] = text
+    return "".join(line).rstrip()
+
+
+def _fmt_x(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _fmt_y(value: float) -> str:
+    if abs(value) >= 10000:
+        return human_quantity(value)
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _crossover_level(result: Any, metric: str) -> Optional[float]:
+    for probe in result.crossovers:
+        if probe.get("metric") == metric:
+            return float(probe["level"])
+    return None
+
+
+def _crossover_notes(
+    result: Any, metric: str, label_width: int
+) -> List[str]:
+    notes = []
+    for probe in result.crossovers:
+        if probe.get("metric") != metric:
+            continue
+        marker = "x" if probe.get("crossed") else "-"
+        notes.append(f"{'':>{label_width}}  [{marker}] {probe['detail']}")
+    return notes

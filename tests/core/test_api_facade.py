@@ -1,0 +1,79 @@
+"""The repro.api facade: blessed surface, stability, deprecations."""
+
+import pytest
+
+from repro import api
+
+
+def test_facade_exports_the_blessed_surface():
+    for name in ("resolve_config", "run_raw", "record_for", "execute",
+                 "sweep", "clear_memory_cache", "ResultCache", "RunRecord",
+                 "ExperimentConfig", "SweepSpec", "SweepResult", "get_sweep"):
+        assert name in api.__all__
+        assert hasattr(api, name)
+
+
+def test_facade_all_is_accurate():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_facade_functions_are_the_canonical_ones():
+    from repro.runner import api as runner_api
+
+    assert api.run_raw is runner_api.run_raw
+    assert api.record_for is runner_api.record_for
+    assert api.execute is runner_api.execute
+    assert api.resolve_config is runner_api.resolve_config
+
+
+def test_facade_run_raw_works():
+    api.clear_memory_cache()
+    result = api.run_raw("validation")
+    assert result is api.run_raw("validation")
+    api.clear_memory_cache()
+
+
+def test_facade_sweep_accepts_spec_name(monkeypatch, tmp_path):
+    from repro.core import experiments
+    from repro.runner.cache import ResultCache
+    from repro.runner.config import ExperimentConfig
+    from repro.sweep import SweepSpec
+    from repro.sweep import specs as sweep_specs
+
+    exp = experiments.ExperimentSpec(
+        id="fake_facade", title="f", paper_tables="none", description="d",
+        runner=lambda config: {"value": float(config.procs)},
+        config=ExperimentConfig(exp_id="fake_facade"),
+        shape=lambda r: [("ran", True, "ok")], paper={},
+    )
+    monkeypatch.setitem(experiments.EXPERIMENTS, "fake_facade", exp)
+    spec = SweepSpec(
+        name="facade-tiny", exp_id="fake_facade",
+        axes=(("procs", (1, 2)),), metrics=("value",),
+        extra_metrics={"value": lambda s: s["data"]["value"]},
+    )
+    monkeypatch.setitem(sweep_specs.SWEEP_SPECS, "facade-tiny", spec)
+
+    api.clear_memory_cache()
+    result = api.sweep("facade-tiny", jobs=1, cache=ResultCache(tmp_path))
+    assert result.series("value") == ([1, 2], [1.0, 2.0])
+    # Axis replacement flows through the facade too.
+    narrowed = api.sweep("facade-tiny", axes={"procs": (2,)}, jobs=1,
+                         cache=ResultCache(tmp_path))
+    assert narrowed.series("value") == ([2], [2.0])
+    api.clear_memory_cache()
+
+
+def test_facade_sweep_unknown_name():
+    with pytest.raises(ValueError, match="unknown sweep"):
+        api.sweep("definitely-not-a-sweep")
+
+
+def test_run_experiment_wrapper_deprecated_in_favor_of_facade():
+    from repro.core.experiments import run_experiment
+
+    api.clear_memory_cache()
+    with pytest.warns(DeprecationWarning, match="repro.api.run_raw"):
+        run_experiment("validation")
+    api.clear_memory_cache()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import run_raw
 from repro.core.experiments import (
     EXPERIMENTS,
     get_experiment,
@@ -64,7 +65,7 @@ def test_get_experiment_unknown():
 
 def test_validation_experiment_runs_and_passes():
     clear_memory_cache()
-    result = run_experiment("validation")
+    result = run_raw("validation")
     checks = EXPERIMENTS["validation"].shape(result)
     assert checks
     for name, ok, detail in checks:
@@ -73,7 +74,15 @@ def test_validation_experiment_runs_and_passes():
 
 def test_results_are_memoized():
     clear_memory_cache()
-    first = run_experiment("validation")
-    second = run_experiment("validation")
+    first = run_raw("validation")
+    second = run_raw("validation")
     assert first is second
+    clear_memory_cache()
+
+
+def test_run_experiment_wrapper_is_deprecated():
+    clear_memory_cache()
+    with pytest.warns(DeprecationWarning, match="repro.api.run_raw"):
+        result = run_experiment("validation")
+    assert result is run_raw("validation")  # same memo slot
     clear_memory_cache()

@@ -57,8 +57,48 @@ def test_with_overrides_options_merge():
 
 
 def test_with_overrides_unknown_key_rejected():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="unknown gauss config override"):
         EXPERIMENTS["gauss"].config.with_overrides({"nope": 1})
+
+
+def test_with_overrides_suggests_close_match():
+    with pytest.raises(ValueError, match="did you mean 'procs'"):
+        EXPERIMENTS["gauss"].config.with_overrides({"prcs": 4})
+    with pytest.raises(ValueError, match="did you mean 'n'"):
+        EXPERIMENTS["gauss"].config.with_overrides({"app": {"nn": 8}})
+
+
+def test_with_overrides_machine_channel():
+    base = EXPERIMENTS["em3d"].config
+    swept = base.with_overrides({"machine": {"network_latency": 50}})
+    assert swept.machine == (("network_latency", 50),)
+    assert swept.machine_params().common.network_latency == 50
+    # The base config's resolved params are untouched.
+    assert base.machine_params().common.network_latency != 50
+    # Merging keeps earlier machine overrides, later ones win per key.
+    merged = swept.with_overrides(
+        {"machine": {"network_latency": 75, "block_bytes": 64}}
+    )
+    assert dict(merged.machine) == {"network_latency": 75, "block_bytes": 64}
+
+
+def test_with_overrides_unknown_machine_field_rejected():
+    with pytest.raises(ValueError, match="unknown machine override"):
+        EXPERIMENTS["em3d"].config.with_overrides(
+            {"machine": {"network_latncy": 50}}
+        )
+
+
+def test_machine_override_changes_cache_identity():
+    from repro.runner.cache import cache_key
+
+    base = EXPERIMENTS["em3d"].config
+    swept = base.with_overrides({"machine": {"network_latency": 50}})
+    assert cache_key(base) != cache_key(swept)
+    data = swept.to_jsonable()
+    # The override's effect is contained in the resolved params, which
+    # to_jsonable already serializes — no new payload field needed.
+    assert data["machine"]["common"]["network_latency"] == 50
 
 
 def test_app_override_without_app_rejected():

@@ -67,9 +67,10 @@ def test_run_raw_memoizes_per_config():
     api.clear_memory_cache()
 
 
-def test_run_experiment_with_overrides():
+def test_run_experiment_wrapper_warns_but_still_works():
     api.clear_memory_cache()
-    pair = experiments.run_experiment("gauss", overrides=SMALL_GAUSS)
+    with pytest.warns(DeprecationWarning):
+        pair = experiments.run_experiment("gauss", overrides=SMALL_GAUSS)
     assert pair.name == "Gauss"
     assert pair.mp_result.board.num_procs == 4
     api.clear_memory_cache()
@@ -77,10 +78,10 @@ def test_run_experiment_with_overrides():
 
 def test_clear_cache_shim_warns_and_delegates():
     api.clear_memory_cache()
-    first = experiments.run_experiment("validation")
+    first = api.run_raw("validation")
     with pytest.warns(DeprecationWarning):
         experiments.clear_cache()
-    assert experiments.run_experiment("validation") is not first
+    assert api.run_raw("validation") is not first
     api.clear_memory_cache()
 
 
@@ -217,7 +218,7 @@ def test_dependent_shape_checks_work_in_one_group(tmp_path, monkeypatch):
         return {"total": 5.0}
 
     def dep_shape(result):
-        base = experiments.run_experiment("fake_base")
+        base = api.run_raw("fake_base")
         return [("improves", result["total"] < base["total"], "ok")]
 
     base_spec = experiments.ExperimentSpec(

@@ -1,0 +1,116 @@
+"""Named metric extraction from run-record summaries."""
+
+import pytest
+
+from repro.stats.metrics import (
+    METRICS,
+    derive_metrics,
+    metric_names,
+    resolve_metric,
+)
+
+
+def _pair_summary():
+    """A handcrafted pair summary with easily checkable numbers."""
+    mp_overall = {"computation": 60.0, "communication": 30.0,
+                  "barriers": 10.0, "total": 100.0}
+    sm_overall = {"computation": 100.0, "data_access": 80.0,
+                  "synchronization": 20.0, "total": 200.0}
+    return {
+        "kind": "pair",
+        "name": "Fake",
+        "phases": ["init", "main"],
+        "mp": {"overall": mp_overall,
+               "phases": {"init": {"total": 20.0}, "main": {"total": 80.0}}},
+        "sm": {"overall": sm_overall,
+               "phases": {"init": {"total": 50.0}, "main": {"total": 150.0}}},
+        "mp_counts": {"bytes_transmitted": 4000.0,
+                      "comp_cycles_per_data_byte": 15.0},
+        "sm_counts": {"shared_misses": 500.0, "private_misses": 100.0,
+                      "remote_fraction": 0.75, "bytes_transmitted": 9000.0,
+                      "comp_cycles_per_data_byte": 11.0},
+        "mp_relative_to_sm": 0.5,
+        "sm_relative_to_mp": 2.0,
+        "extra": {},
+    }
+
+
+def test_totals_and_ratios():
+    s = _pair_summary()
+    assert METRICS["mp_total"](s) == 100.0
+    assert METRICS["sm_total"](s) == 200.0
+    assert METRICS["mp_over_sm"](s) == 0.5
+    assert METRICS["sm_over_mp"](s) == 2.0
+
+
+def test_shares():
+    s = _pair_summary()
+    assert METRICS["mp_compute_share"](s) == 0.6
+    assert METRICS["mp_comm_share"](s) == 0.3
+    assert METRICS["mp_barrier_share"](s) == 0.1
+    assert METRICS["sm_compute_share"](s) == 0.5
+    assert METRICS["sm_data_access_share"](s) == 0.4
+    assert METRICS["sm_sync_share"](s) == 0.1
+
+
+def test_phase_totals_and_counts():
+    s = _pair_summary()
+    assert METRICS["mp_main_total"](s) == 80.0
+    assert METRICS["sm_main_total"](s) == 150.0
+    assert METRICS["sm_shared_misses"](s) == 500.0
+    assert METRICS["sm_remote_fraction"](s) == 0.75
+    assert METRICS["mp_bytes"](s) == 4000.0
+    assert METRICS["sm_intensity"](s) == 11.0
+
+
+def test_non_pair_summary_rejected():
+    scalars = {"kind": "scalars", "data": {"x": 1.0}}
+    with pytest.raises(ValueError, match="needs a pair summary"):
+        METRICS["mp_total"](scalars)
+
+
+def test_missing_phase_rejected():
+    s = _pair_summary()
+    s["mp"]["phases"] = {"init": {"total": 20.0}}
+    with pytest.raises(ValueError, match="no mp phase 'main'"):
+        METRICS["mp_main_total"](s)
+
+
+def test_resolve_metric_suggests():
+    with pytest.raises(ValueError, match="did you mean 'sm_total'"):
+        resolve_metric("sm_totl")
+    assert resolve_metric("mp_total") is METRICS["mp_total"]
+
+
+def test_resolve_metric_extra_shadows_registry():
+    override = lambda s: 42.0
+    assert resolve_metric("mp_total", {"mp_total": override}) is override
+    assert resolve_metric("custom", {"custom": override}) is override
+
+
+def test_derive_metrics_preserves_order():
+    derived = derive_metrics(_pair_summary(), ("sm_total", "mp_total"))
+    assert list(derived) == ["sm_total", "mp_total"]
+    assert derived == {"sm_total": 200.0, "mp_total": 100.0}
+
+
+def test_metric_names_sorted_and_complete():
+    names = metric_names()
+    assert names == sorted(names)
+    assert set(names) == set(METRICS)
+
+
+def test_metrics_against_a_real_record():
+    """End-to-end: registry metrics work on an actual run summary."""
+    from repro.runner.api import record_for
+
+    summary = record_for("mse").summary
+    derived = derive_metrics(
+        summary, ("mp_total", "sm_total", "sm_over_mp", "sm_data_access_share")
+    )
+    assert derived["mp_total"] > 0
+    assert derived["sm_total"] > 0
+    assert derived["sm_over_mp"] == pytest.approx(
+        derived["sm_total"] / derived["mp_total"], rel=1e-6
+    )
+    assert 0 <= derived["sm_data_access_share"] <= 1

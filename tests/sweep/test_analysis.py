@@ -1,0 +1,80 @@
+"""Crossover detection and curve-shape helpers."""
+
+import pytest
+
+from repro.sweep.analysis import (
+    crossover_report,
+    find_crossover,
+    fmt_series,
+    monotone,
+    speedup_vs_first,
+)
+
+
+def test_find_crossover_interpolates():
+    # y crosses 1.0 halfway between x=4 (y=1.2) and x=8 (y=0.8).
+    at = find_crossover([1, 2, 4, 8], [2.0, 1.5, 1.2, 0.8], level=1.0)
+    assert at == pytest.approx(6.0)
+
+
+def test_find_crossover_exact_touch_counts():
+    assert find_crossover([0, 10, 20], [2.0, 1.0, 0.5], level=1.0) == 10.0
+    assert find_crossover([0, 10], [1.0, 2.0], level=1.0) == 0.0
+
+
+def test_find_crossover_none_when_one_sided():
+    assert find_crossover([0, 10, 20], [1.4, 2.0, 5.0], level=1.0) is None
+    assert find_crossover([0, 10], [0.2, 0.8], level=1.0) is None
+
+
+def test_find_crossover_first_crossing_wins():
+    at = find_crossover([0, 1, 2, 3], [2.0, 0.5, 2.0, 0.5], level=1.0)
+    assert 0 < at < 1
+
+
+def test_find_crossover_validates_input():
+    with pytest.raises(ValueError):
+        find_crossover([], [], level=1.0)
+    with pytest.raises(ValueError):
+        find_crossover([1, 2], [1.0], level=1.0)
+
+
+def test_crossover_report_shapes():
+    crossed = crossover_report(
+        "probe", "procs", [1, 2, 4, 8], [2.0, 1.5, 1.2, 0.8], "r", 1.0
+    )
+    assert crossed["crossed"] is True
+    assert crossed["at"] == pytest.approx(6.0)
+    assert "crosses 1 at procs" in crossed["detail"]
+
+    flat = crossover_report(
+        "probe", "lat", [0, 100], [1.4, 5.0], "r", 1.0, "described"
+    )
+    assert flat["crossed"] is False and flat["at"] is None
+    assert flat["detail"].startswith("described: ")
+    assert "stays above 1" in flat["detail"]
+
+
+def test_monotone_directions():
+    assert monotone([1, 2, 3], increasing=True)
+    assert monotone([3, 2, 1], increasing=False)
+    assert not monotone([1, 3, 2], increasing=True, strict=True)
+    assert monotone([1, 2, 2], increasing=True)  # plateau ok unless strict
+    assert not monotone([1, 2, 2], increasing=True, strict=True)
+
+
+def test_monotone_tolerance_forgives_noise():
+    assert monotone([1.0, 2.0, 1.95], increasing=True, tolerance=0.1)
+    assert not monotone([1.0, 2.0, 1.5], increasing=True, tolerance=0.1)
+
+
+def test_speedup_vs_first():
+    assert speedup_vs_first([100.0, 50.0, 25.0]) == [1.0, 2.0, 4.0]
+    with pytest.raises(ValueError):
+        speedup_vs_first([])
+    with pytest.raises(ValueError):
+        speedup_vs_first([0.0, 1.0])
+
+
+def test_fmt_series():
+    assert fmt_series([1.0, 2.5]) == "1 -> 2.5"

@@ -1,0 +1,107 @@
+"""Axis name resolution, override merging, and CLI value parsing."""
+
+import pytest
+
+from repro.core.experiments import EXPERIMENTS
+from repro.sweep.axes import (
+    axis_overrides,
+    known_axes,
+    merge_overrides,
+    parse_axis_flag,
+    parse_axis_value,
+)
+
+EM3D = EXPERIMENTS["em3d"].config
+GAUSS = EXPERIMENTS["gauss"].config
+VALIDATION = EXPERIMENTS["validation"].config  # no app config
+
+
+def test_top_level_axes():
+    assert axis_overrides(EM3D, "procs", 4) == {"procs": 4}
+    assert axis_overrides(EM3D, "seed", 7) == {"seed": 7}
+    assert axis_overrides(EM3D, "cache_bytes", 4096) == {"cache_bytes": 4096}
+
+
+def test_cache_kb_convenience_axis():
+    assert axis_overrides(EM3D, "cache_kb", 8) == {"cache_bytes": 8192}
+
+
+def test_machine_axes_and_alias():
+    assert axis_overrides(EM3D, "network_latency", 50) == {
+        "machine": {"network_latency": 50}
+    }
+    assert axis_overrides(EM3D, "net_latency", 50) == {
+        "machine": {"network_latency": 50}
+    }
+    assert axis_overrides(EM3D, "tlb_entries", 32) == {
+        "machine": {"tlb_entries": 32}
+    }
+
+
+def test_app_axes_bare_and_qualified():
+    assert axis_overrides(GAUSS, "n", 64) == {"app": {"n": 64}}
+    assert axis_overrides(GAUSS, "app.n", 64) == {"app": {"n": 64}}
+    assert axis_overrides(EM3D, "nodes_per_proc", 40) == {
+        "app": {"nodes_per_proc": 40}
+    }
+
+
+def test_options_axes_are_qualified():
+    lcp = EXPERIMENTS["lcp"].config
+    assert axis_overrides(lcp, "options.asynchronous", True) == {
+        "options": {"asynchronous": True}
+    }
+
+
+def test_unknown_axis_fails_with_suggestion():
+    with pytest.raises(ValueError, match="did you mean 'network_latency'"):
+        axis_overrides(EM3D, "network_latncy", 50)
+    with pytest.raises(ValueError, match="unknown sweep axis"):
+        axis_overrides(VALIDATION, "n", 8)  # no app config to resolve
+
+
+def test_known_axes_cover_every_channel():
+    names = known_axes(EM3D)
+    for expected in ("procs", "cache_kb", "network_latency", "net_latency",
+                     "app.degree", "degree"):
+        assert expected in names
+
+
+def test_merge_overrides_deep_merges_channels():
+    merged = merge_overrides(
+        {"procs": 4, "app": {"n": 64}},
+        {"machine": {"network_latency": 50}},
+        {"app": {"seed": 7}, "machine": {"block_bytes": 64}},
+    )
+    assert merged == {
+        "procs": 4,
+        "app": {"n": 64, "seed": 7},
+        "machine": {"network_latency": 50, "block_bytes": 64},
+    }
+
+
+def test_merge_overrides_later_wins():
+    assert merge_overrides({"procs": 2}, {"procs": 8}) == {"procs": 8}
+    merged = merge_overrides({"app": {"n": 1}}, {"app": {"n": 2}})
+    assert merged == {"app": {"n": 2}}
+
+
+def test_parse_axis_value_types():
+    assert parse_axis_value("8") == 8
+    assert isinstance(parse_axis_value("8"), int)
+    assert parse_axis_value("0.5") == 0.5
+    assert parse_axis_value("true") is True
+    assert parse_axis_value("False") is False
+    assert parse_axis_value("local") == "local"
+
+
+def test_parse_axis_flag():
+    name, values = parse_axis_flag("net_latency=0,50,100")
+    assert name == "net_latency"
+    assert values == (0, 50, 100)
+    with pytest.raises(ValueError, match="expected name="):
+        parse_axis_flag("net_latency")
+    with pytest.raises(ValueError, match="empty axis name or value"):
+        parse_axis_flag("=1,2")
+    with pytest.raises(ValueError, match="empty axis name or value"):
+        parse_axis_flag("procs=,")

@@ -1,0 +1,87 @@
+"""ASCII plot rendering."""
+
+from repro.sweep.plot import render_plot, render_plots
+from repro.sweep.result import SweepResult
+
+
+def _result(points=None, axes=None, crossovers=None):
+    return SweepResult(
+        spec_name="t", exp_id="em3d", description="",
+        axes=axes or [["net_latency", [0, 50, 100]]],
+        metrics=["sm_over_mp"],
+        points=points or [
+            {"coords": {"net_latency": 0}, "cache_key": "a",
+             "metrics": {"sm_over_mp": 1.4}},
+            {"coords": {"net_latency": 50}, "cache_key": "b",
+             "metrics": {"sm_over_mp": 2.3}},
+            {"coords": {"net_latency": 100}, "cache_key": "c",
+             "metrics": {"sm_over_mp": 3.1}},
+        ],
+        crossovers=crossovers or [],
+    )
+
+
+def test_plot_has_title_frame_and_glyphs():
+    text = render_plot(_result(), "sm_over_mp", width=40, height=8)
+    lines = text.split("\n")
+    assert lines[0] == "t: sm_over_mp vs net_latency"
+    assert set(lines[1]) == {"-"}
+    assert text.count("o") >= 3  # one glyph per point
+    assert "net_latency" in lines[-1]
+    # Every plot row is framed.
+    assert all("|" in line for line in lines if " |" in line)
+
+
+def test_plot_draws_crossover_level_and_note():
+    probe = {"name": "p", "metric": "sm_over_mp", "level": 2.0,
+             "axis": "net_latency", "crossed": True, "at": 30.0,
+             "detail": "crosses 2 at net_latency ~ 30"}
+    text = render_plot(_result(crossovers=[probe]), "sm_over_mp",
+                       width=40, height=8)
+    assert "[x] crosses 2 at net_latency ~ 30" in text
+    # The level rule appears as a dashed row.
+    assert any(line.count("-") > 20 and "|" in line
+               for line in text.split("\n")[2:-3])
+
+
+def test_plot_flat_series_does_not_divide_by_zero():
+    flat = _result(points=[
+        {"coords": {"net_latency": x}, "cache_key": str(x),
+         "metrics": {"sm_over_mp": 2.0}}
+        for x in (0, 50, 100)
+    ])
+    text = render_plot(flat, "sm_over_mp", width=30, height=6)
+    assert "sm_over_mp" in text
+
+
+def test_plot_two_axis_renders_one_series_per_row():
+    points = []
+    for lat in (0, 100):
+        for kb in (4, 16):
+            points.append({
+                "coords": {"net_latency": lat, "cache_kb": kb},
+                "cache_key": f"{lat}-{kb}",
+                "metrics": {"sm_over_mp": 1.0 + lat / 100 + kb / 16},
+            })
+    result = _result(
+        points=points,
+        axes=[["net_latency", [0, 100]], ["cache_kb", [4, 16]]],
+    )
+    text = render_plot(result, "sm_over_mp", width=40, height=10)
+    assert "legend: o=cache_kb=4  *=cache_kb=16" in text
+    assert "*" in text
+
+
+def test_render_plots_covers_every_metric():
+    result = _result()
+    result.metrics = ["sm_over_mp"]
+    assert render_plots(result).count("vs net_latency") == 1
+
+
+def test_plot_single_point():
+    single = _result(points=[
+        {"coords": {"net_latency": 0}, "cache_key": "a",
+         "metrics": {"sm_over_mp": 1.4}},
+    ])
+    single.axes = [["net_latency", [0]]]
+    assert "o" in render_plot(single, "sm_over_mp", width=20, height=5)

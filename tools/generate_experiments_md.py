@@ -2,21 +2,30 @@
 """Regenerate EXPERIMENTS.md from live runs of every experiment.
 
 Usage:  python tools/generate_experiments_md.py [output-path]
+        python tools/generate_experiments_md.py --sensitivity-only [output-path]
 
 Runs the full experiment registry and writes a paper-vs-measured report:
 for every table and figure of the paper's evaluation section, the
-paper's reported values, the scaled run's values, and the shape checks.
+paper's reported values, the scaled run's values, and the shape checks;
+plus a sensitivity section generated from the shipped ``repro sweep``
+specs. ``--sensitivity-only`` regenerates just that section in place
+(between the sweep markers), leaving the per-experiment sections alone.
 """
 
 from __future__ import annotations
 
+import re
 import sys
 import time
 from pathlib import Path
 
-from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.api import run_raw
+from repro.core.experiments import EXPERIMENTS
 from repro.core.study import PairResult
 from repro.core.tables import render_pair
+
+SWEEP_BEGIN = "<!-- sweep-sensitivity:begin -->"
+SWEEP_END = "<!-- sweep-sensitivity:end -->"
 
 HEADER = """\
 # EXPERIMENTS — paper vs. measured
@@ -44,7 +53,7 @@ Regenerate with `python tools/generate_experiments_md.py`.
 def render_experiment(exp_id: str) -> str:
     spec = EXPERIMENTS[exp_id]
     start = time.time()
-    result = run_experiment(exp_id)
+    result = run_raw(exp_id)
     elapsed = time.time() - start
     lines = [
         f"## {spec.title}",
@@ -131,12 +140,69 @@ def render_fidelity() -> str:
     )
 
 
+def render_sensitivity() -> str:
+    """The sweep-driven sensitivity section, marker-delimited."""
+    from repro.api import sweep
+    from repro.sweep import SWEEP_SPECS
+
+    lines = [
+        SWEEP_BEGIN,
+        "## Sensitivity sweeps",
+        "",
+        "The paper's sensitivity conclusions (section 5) as declarative",
+        "sweeps over the same harness: each spec pins a curve shape as a",
+        "machine-checked assertion. Rerun any of them with",
+        "`python -m repro sweep <name>`; widen an axis with `--axis`.",
+        "",
+    ]
+    for name in sorted(SWEEP_SPECS):
+        print(f"sweeping {name} ...", flush=True)
+        result = sweep(name)
+        lines += [
+            f"### `{name}` — {result.exp_id}",
+            "",
+            SWEEP_SPECS[name].description,
+            "",
+            "```",
+            result.render_table(),
+            "```",
+            "",
+        ]
+        for probe in result.crossovers:
+            mark = "x" if probe["crossed"] else "-"
+            lines.append(f"- [{mark}] crossover `{probe['name']}` — {probe['detail']}")
+        for check_name, ok, detail in result.checks:
+            mark = "PASS" if ok else "FAIL"
+            lines.append(f"- [{mark}] {check_name} — {detail}")
+        lines.append("")
+    lines.append(SWEEP_END)
+    return "\n".join(lines)
+
+
 def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    argv = [a for a in sys.argv[1:]]
+    sensitivity_only = "--sensitivity-only" in argv
+    argv = [a for a in argv if a != "--sensitivity-only"]
+    output = Path(argv[0]) if argv else Path("EXPERIMENTS.md")
+
+    if sensitivity_only:
+        text = output.read_text()
+        block = re.compile(
+            re.escape(SWEEP_BEGIN) + r".*?" + re.escape(SWEEP_END), re.S
+        )
+        if not block.search(text):
+            print(f"no sweep markers in {output}; run a full regeneration first")
+            return 1
+        output.write_text(block.sub(lambda _m: render_sensitivity(), text))
+        print(f"rewrote sensitivity section of {output}")
+        return 0
+
     sections = [HEADER]
     for exp_id in EXPERIMENTS:
         print(f"running {exp_id} ...", flush=True)
         sections.append(render_experiment(exp_id))
+    sections.append(render_sensitivity())
+    sections.append("")
     sections.append(render_fidelity())
     output.write_text("\n".join(sections))
     print(f"wrote {output}")
