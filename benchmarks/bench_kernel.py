@@ -8,7 +8,7 @@ is the CI regression baseline; regenerate it with::
     python -m repro bench --json BENCH_kernel.json
 """
 
-from repro import bench
+from repro.runner import bench
 
 from benchmarks.helpers import banner
 

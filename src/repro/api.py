@@ -15,6 +15,10 @@ need lives here, re-exported from the subsystems that implement it:
 * :func:`sweep` — a declarative sensitivity sweep
   (:class:`SweepSpec` or a shipped spec name) through the same
   executor and cache; returns a :class:`SweepResult`.
+* :func:`bench` — the kernel + end-to-end benchmark suite; returns
+  the JSON-ready result document.
+* :func:`trace_for` — one traced simulation; returns a
+  :class:`TraceResult` holding the validated Chrome Trace document.
 
 Import from ``repro.api`` rather than the implementing modules:
 the facade is the surface the project promises to keep stable across
@@ -29,7 +33,8 @@ internal refactors (the wrapper it replaced,
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.runner.api import (
     clear_memory_cache,
@@ -49,6 +54,8 @@ __all__ = [
     "RunRecord",
     "SweepResult",
     "SweepSpec",
+    "TraceResult",
+    "bench",
     "clear_memory_cache",
     "execute",
     "get_sweep",
@@ -56,6 +63,7 @@ __all__ = [
     "resolve_config",
     "run_raw",
     "sweep",
+    "trace_for",
 ]
 
 
@@ -73,3 +81,79 @@ def sweep(
     if isinstance(spec, str):
         spec = get_sweep(spec)
     return run_sweep(spec, axes=axes, **kwargs)
+
+
+def bench(
+    quick: bool = False,
+    apps: bool = True,
+    backend: str = "batched",
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Run the benchmark suite; returns the JSON-ready document.
+
+    ``backend`` selects the execution backend for the end-to-end app
+    rows (``"batched"`` or ``"reference"``); remaining keyword
+    arguments pass through to
+    :func:`repro.runner.bench.run_benchmarks` (``log``, ...).
+    """
+    from repro.runner import bench as bench_impl
+
+    return bench_impl.run_benchmarks(
+        quick=quick, apps=apps, backend=backend, **kwargs
+    )
+
+
+@dataclass
+class TraceResult:
+    """One traced run: the Chrome Trace document plus provenance."""
+
+    exp_id: str
+    config: ExperimentConfig
+    document: Dict[str, Any]
+    result: Any
+    elapsed_seconds: float
+    dropped: int
+    errors: List[str] = field(default_factory=list)
+
+
+def trace_for(
+    exp_id: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+    procs: Optional[Sequence[int]] = None,
+    max_events: Optional[int] = None,
+) -> TraceResult:
+    """Run one experiment under the timeline tracer.
+
+    Always simulates (tracing instruments the run, so there is nothing
+    to reuse from the result cache — callers that want cached-trace
+    reuse layer it on top, as the CLI does). ``procs`` restricts the
+    traced processors; ``max_events`` bounds the event buffer. The
+    returned document passed Chrome Trace schema validation unless
+    ``errors`` is non-empty.
+    """
+    import time
+
+    from repro import trace
+    from repro.core.experiments import get_experiment
+    from repro.trace.chrome import to_chrome, validate_chrome_trace
+
+    spec = get_experiment(exp_id)
+    config = resolve_config(exp_id, overrides)
+    tracer = trace.Tracer(procs=procs, max_events=max_events)
+    trace.install(tracer)
+    start = time.perf_counter()
+    try:
+        result = spec.runner(config)
+    finally:
+        trace.uninstall()
+    elapsed = time.perf_counter() - start
+    document = to_chrome(tracer, meta={"experiment": exp_id})
+    return TraceResult(
+        exp_id=exp_id,
+        config=config,
+        document=document,
+        result=result,
+        elapsed_seconds=elapsed,
+        dropped=tracer.dropped,
+        errors=validate_chrome_trace(document),
+    )

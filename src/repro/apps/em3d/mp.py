@@ -258,6 +258,42 @@ def em3d_mp_program(ctx, config: Em3dConfig, graph: Em3dGraph):
         yield from ctx.barrier()
 
     with ctx.stats.phase("main"):
+        # The CSR structure is final after the init barrier, so each
+        # node's half-step work — read refs, read weights, gather local
+        # sources, gather ghosts, per-edge compute — is declared once as
+        # a bulk run and replayed every iteration.
+        node_plans: Dict[int, List] = {}
+        for dest_kind in (E, H):
+            src_kind = H if dest_kind == E else E
+            indptr_region, refs_region, w_region = csr[dest_kind]
+            indptr_np = indptr_region.np
+            refs_np = refs_region.np
+            rows = []
+            for i in range(n):
+                start, end = int(indptr_np[i]), int(indptr_np[i + 1])
+                if start == end:
+                    continue
+                local_mask = refs_np[start:end] < n
+                has_local = bool(local_mask.any())
+                has_ghost = bool((~local_mask).any())
+                degree = end - start
+                script = (
+                    ctx.batch()
+                    .read(refs_region, start, end)
+                    .read(w_region, start, end)
+                )
+                if has_local:
+                    script.read_gather(
+                        values[src_kind], refs_np[start:end][local_mask]
+                    )
+                if has_ghost:
+                    script.read_gather(
+                        ghosts[src_kind], refs_np[start:end][~local_mask] - n
+                    )
+                script.compute_flops(2 * degree)
+                script.compute(ctx.costs.int_ops(8 * degree))
+                rows.append((i, has_local, has_ghost, script))
+            node_plans[dest_kind] = rows
         for iteration in range(config.iterations):
             for dest_kind in (E, H):
                 src_kind = H if dest_kind == E else E
@@ -285,33 +321,19 @@ def em3d_mp_program(ctx, config: Em3dConfig, graph: Em3dGraph):
                         )
                         yield from ctx.am.send(peer, _CREDIT_HANDLER, src_kind)
                 # Compute the half-step from local values and ghosts.
-                indptr_region, refs_region, w_region = csr[dest_kind]
-                indptr = indptr_region.np
-                src_vals = values[src_kind].np
-                ghost_vals = ghosts[src_kind].np
                 new_vals = np.zeros(n)
-                for i in range(n):
-                    start, end = int(indptr[i]), int(indptr[i + 1])
-                    if start == end:
-                        continue
-                    refs = yield from ctx.read(refs_region, start, end)
-                    ws = yield from ctx.read(w_region, start, end)
+                for i, has_local, has_ghost, script in node_plans[dest_kind]:
+                    got = yield from ctx.run_batch(script)
+                    refs, ws = got[0], got[1]
                     local_mask = refs < n
                     acc = 0.0
-                    if local_mask.any():
-                        idx = refs[local_mask]
-                        vals = yield from ctx.read_gather(values[src_kind], idx)
-                        acc += float(np.dot(ws[local_mask], vals))
-                    if (~local_mask).any():
-                        idx = refs[~local_mask] - n
-                        vals = yield from ctx.read_gather(ghosts[src_kind], idx)
-                        acc += float(np.dot(ws[~local_mask], vals))
+                    slot = 2
+                    if has_local:
+                        acc += float(np.dot(ws[local_mask], got[slot]))
+                        slot += 1
+                    if has_ghost:
+                        acc += float(np.dot(ws[~local_mask], got[slot]))
                     new_vals[i] = acc
-                    degree = end - start
-                    # Per edge: multiply-add plus pointer chasing/index
-                    # arithmetic (the Split-C loop body).
-                    yield from ctx.compute_flops(2 * degree)
-                    yield from ctx.compute(ctx.costs.int_ops(8 * degree))
                 yield from ctx.compute(ctx.costs.loop(n))
                 yield from ctx.write(values[dest_kind], 0, values=new_vals)
         yield from ctx.barrier()

@@ -211,12 +211,44 @@ def em3d_sm_program(
         indptr_cache = {
             kind: np.array(shared[("indptr", kind, me)].np) for kind in (E, H)
         }
+        # The CSR structure is final after the init barrier, so each
+        # node's half-step work — read refs, read weights, one gather
+        # per source processor (sorted), then the per-edge compute — can
+        # be declared once as a bulk run and replayed every iteration.
+        node_plans: Dict[int, List[Tuple[int, int, List[int], object]]] = {}
+        for dest_kind in (E, H):
+            src_kind = H if dest_kind == E else E
+            indptr = indptr_cache[dest_kind]
+            refs_region = shared[("refs", dest_kind, me)]
+            w_region = shared[("w", dest_kind, me)]
+            refs_np = refs_region.np
+            rows = []
+            for i in range(n):
+                start, end = int(indptr[i]), int(indptr[i + 1])
+                if start == end:
+                    continue
+                by_proc: Dict[int, List[int]] = {}
+                for ref in refs_np[start:end]:
+                    sp, si = divmod(int(ref), n)
+                    by_proc.setdefault(sp, []).append(si)
+                group_procs = sorted(by_proc)
+                degree = end - start
+                script = (
+                    ctx.batch()
+                    .read(refs_region, start, end)
+                    .read(w_region, start, end)
+                )
+                for sp in group_procs:
+                    script.read_gather(
+                        shared[("vals", src_kind, sp)], by_proc[sp]
+                    )
+                script.compute_flops(2 * degree)
+                script.compute(ctx.costs.int_ops(8 * degree))
+                rows.append((i, start, group_procs, script))
+            node_plans[dest_kind] = rows
         for _iteration in range(config.iterations):
             for dest_kind in (E, H):
                 src_kind = H if dest_kind == E else E
-                indptr = indptr_cache[dest_kind]
-                refs_region = shared[("refs", dest_kind, me)]
-                w_region = shared[("w", dest_kind, me)]
                 my_vals = shared[("vals", dest_kind, me)]
                 new_vals = np.zeros(n)
                 remote_reads: Dict[int, set] = {}
@@ -230,12 +262,9 @@ def em3d_sm_program(
                             shared[("vals", src_kind, sp)],
                             prefetch_lists[dest_kind][sp],
                         )
-                for i in range(n):
-                    start, end = int(indptr[i]), int(indptr[i + 1])
-                    if start == end:
-                        continue
-                    refs = yield from ctx.read(refs_region, start, end)
-                    ws = yield from ctx.read(w_region, start, end)
+                for i, _start, group_procs, script in node_plans[dest_kind]:
+                    got = yield from ctx.run_batch(script)
+                    refs, ws = got[0], got[1]
                     acc = 0.0
                     by_proc: Dict[int, Tuple[List[int], List[float]]] = {}
                     for ref, weight in zip(refs, ws):
@@ -243,19 +272,13 @@ def em3d_sm_program(
                         entry = by_proc.setdefault(sp, ([], []))
                         entry[0].append(si)
                         entry[1].append(float(weight))
-                    for sp, (indices, wlist) in sorted(by_proc.items()):
-                        vals = yield from ctx.read_gather(
-                            shared[("vals", src_kind, sp)], indices
-                        )
+                    for gi, sp in enumerate(group_procs):
+                        indices, wlist = by_proc[sp]
+                        vals = got[2 + gi]
                         acc += float(np.dot(np.asarray(wlist), vals))
                         if variant == "flush" and sp != me:
                             remote_reads.setdefault(sp, set()).update(indices)
                     new_vals[i] = acc
-                    degree = end - start
-                    # Per edge: multiply-add plus pointer chasing/index
-                    # arithmetic (same loop body as EM3D-MP).
-                    yield from ctx.compute_flops(2 * degree)
-                    yield from ctx.compute(ctx.costs.int_ops(8 * degree))
                 yield from ctx.compute(ctx.costs.loop(n))
                 if variant == "flush":
                     # Consumer flush: release remote source copies so the

@@ -52,10 +52,12 @@ def gauss_mp_program(ctx, config: GaussConfig, a_full, b_full):
             best = (-1.0, -1)
             active = [r for r in range(myrows) if not mask[r]]
             if active:
-                column = yield from ctx.read_gather(
-                    a_region, [r * n + k for r in active]
+                got = yield from ctx.run_batch(
+                    ctx.batch()
+                    .read_gather(a_region, [r * n + k for r in active])
+                    .compute_flops(pivot_search_flops(len(active)))
                 )
-                yield from ctx.compute_flops(pivot_search_flops(len(active)))
+                column = got[0]
                 j = int(np.argmax(np.abs(column)))
                 best = (abs(float(column[j])), lo + active[j])
             pivot_val, pivot_row = yield from ctx.coll.allreduce(best, max)
@@ -68,9 +70,12 @@ def gauss_mp_program(ctx, config: GaussConfig, a_full, b_full):
             if me == powner:
                 local = prow - lo
                 mask[local] = True
-                row_vals = yield from ctx.read(a_region, local * n + k, local * n + n)
-                b_val = yield from ctx.read(b_region, local, local + 1)
-                payload = np.concatenate([row_vals, b_val])
+                got = yield from ctx.run_batch(
+                    ctx.batch()
+                    .read(a_region, local * n + k, local * n + n)
+                    .read(b_region, local, local + 1)
+                )
+                payload = np.concatenate([got[0], got[1]])
             else:
                 payload = None
             pivot = np.array(
@@ -80,19 +85,36 @@ def gauss_mp_program(ctx, config: GaussConfig, a_full, b_full):
 
             active = [r for r in range(myrows) if not mask[r]]
             for r in active:
-                row = yield from ctx.read(a_region, r * n + k, r * n + n)
-                factor = float(row[0]) / float(pivot_vals[0])
-                updated = row - factor * pivot_vals
-                updated[0] = 0.0
-                yield from ctx.write(a_region, r * n + k, values=updated)
-                b_cur = yield from ctx.read(b_region, r, r + 1)
-                yield from ctx.write(b_region, r, values=[float(b_cur[0]) - factor * pivot_b])
-            if active:
-                yield from ctx.compute_flops(update_flops(len(active), n - k))
-                yield from ctx.compute(
-                    ctx.costs.int_ops(update_int_ops(len(active), n - k))
+                # One declared bulk run per row (see gauss/sm.py for the
+                # factor-capture subtlety: the read result is a view the
+                # A-row write overwrites).
+                cell = []
+
+                def updated_row(got, _cell=cell):
+                    row = got[0]
+                    factor = float(row[0]) / float(pivot_vals[0])
+                    _cell.append(factor)
+                    updated = row - factor * pivot_vals
+                    updated[0] = 0.0
+                    return updated
+
+                def updated_b(got, _cell=cell):
+                    return [float(got[1][0]) - _cell[0] * pivot_b]
+
+                yield from ctx.run_batch(
+                    ctx.batch()
+                    .read(a_region, r * n + k, r * n + n)
+                    .write(a_region, r * n + k, values=updated_row)
+                    .read(b_region, r, r + 1)
+                    .write(b_region, r, values=updated_b)
                 )
-                yield from ctx.compute(ctx.costs.loop(len(active)))
+            if active:
+                yield from ctx.run_batch(
+                    ctx.batch()
+                    .compute_flops(update_flops(len(active), n - k))
+                    .compute(ctx.costs.int_ops(update_int_ops(len(active), n - k)))
+                    .compute(ctx.costs.loop(len(active)))
+                )
 
         # Backward substitution: one value broadcast per unknown.
         unresolved = set(range(myrows))
@@ -114,9 +136,15 @@ def gauss_mp_program(ctx, config: GaussConfig, a_full, b_full):
                     a_region, [r * n + k for r in sorted(unresolved)]
                 )
                 for j, r in enumerate(sorted(unresolved)):
-                    b_cur = yield from ctx.read(b_region, r, r + 1)
-                    yield from ctx.write(
-                        b_region, r, values=[float(b_cur[0]) - float(coeffs[j]) * x_k]
+                    coeff = float(coeffs[j])
+                    yield from ctx.run_batch(
+                        ctx.batch()
+                        .read(b_region, r, r + 1)
+                        .write(
+                            b_region,
+                            r,
+                            values=lambda got, c=coeff: [float(got[0][0]) - c * x_k],
+                        )
                     )
                 yield from ctx.compute_flops(2 * len(unresolved))
     return x

@@ -62,10 +62,12 @@ def gauss_sm_program(ctx, config: GaussConfig, a_full, b_full, shared: Dict):
             best = (-1.0, -1.0)
             active = [r for r in range(myrows) if not mask[r]]
             if active:
-                column = yield from ctx.read_gather(
-                    a_region, [(lo + r) * n + k for r in active]
+                got = yield from ctx.run_batch(
+                    ctx.batch()
+                    .read_gather(a_region, [(lo + r) * n + k for r in active])
+                    .compute_flops(pivot_search_flops(len(active)))
                 )
-                yield from ctx.compute_flops(pivot_search_flops(len(active)))
+                column = got[0]
                 j = int(np.argmax(np.abs(column)))
                 best = (abs(float(column[j])), float(lo + active[j]))
             pivot_val, pivot_row = yield from reduction.allreduce(
@@ -79,10 +81,15 @@ def gauss_sm_program(ctx, config: GaussConfig, a_full, b_full, shared: Dict):
 
             if me == powner:
                 mask[prow - lo] = True
-                row_vals = yield from ctx.read(a_region, prow * n + k, prow * n + n)
-                b_val = yield from ctx.read(b_region, prow, prow + 1)
-                yield from ctx.write(
-                    pivotbuf, 0, values=np.concatenate([row_vals, b_val])
+                yield from ctx.run_batch(
+                    ctx.batch()
+                    .read(a_region, prow * n + k, prow * n + n)
+                    .read(b_region, prow, prow + 1)
+                    .write(
+                        pivotbuf,
+                        0,
+                        values=lambda got: np.concatenate([got[0], got[1]]),
+                    )
                 )
             # All processors wait until the write completes, then read:
             # the shared-memory broadcast.
@@ -93,21 +100,37 @@ def gauss_sm_program(ctx, config: GaussConfig, a_full, b_full, shared: Dict):
             active = [r for r in range(myrows) if not mask[r]]
             for r in active:
                 grow = lo + r
-                row = yield from ctx.read(a_region, grow * n + k, grow * n + n)
-                factor = float(row[0]) / float(pivot_vals[0])
-                updated = row - factor * pivot_vals
-                updated[0] = 0.0
-                yield from ctx.write(a_region, grow * n + k, values=updated)
-                b_cur = yield from ctx.read(b_region, grow, grow + 1)
-                yield from ctx.write(
-                    b_region, grow, values=[float(b_cur[0]) - factor * pivot_b]
+                # One declared bulk run per row: read the row, write the
+                # eliminated row, then read-modify-write b. The factor
+                # must be captured when the A-row write is evaluated —
+                # the read result is a view the write overwrites.
+                cell = []
+
+                def updated_row(got, _cell=cell):
+                    row = got[0]
+                    factor = float(row[0]) / float(pivot_vals[0])
+                    _cell.append(factor)
+                    updated = row - factor * pivot_vals
+                    updated[0] = 0.0
+                    return updated
+
+                def updated_b(got, _cell=cell):
+                    return [float(got[1][0]) - _cell[0] * pivot_b]
+
+                yield from ctx.run_batch(
+                    ctx.batch()
+                    .read(a_region, grow * n + k, grow * n + n)
+                    .write(a_region, grow * n + k, values=updated_row)
+                    .read(b_region, grow, grow + 1)
+                    .write(b_region, grow, values=updated_b)
                 )
             if active:
-                yield from ctx.compute_flops(update_flops(len(active), n - k))
-                yield from ctx.compute(
-                    ctx.costs.int_ops(update_int_ops(len(active), n - k))
+                yield from ctx.run_batch(
+                    ctx.batch()
+                    .compute_flops(update_flops(len(active), n - k))
+                    .compute(ctx.costs.int_ops(update_int_ops(len(active), n - k)))
+                    .compute(ctx.costs.loop(len(active)))
                 )
-                yield from ctx.compute(ctx.costs.loop(len(active)))
 
         # Backward substitution: shared-cell broadcast per unknown.
         unresolved = set(range(myrows))
@@ -131,11 +154,15 @@ def gauss_sm_program(ctx, config: GaussConfig, a_full, b_full, shared: Dict):
                 )
                 for j, r in enumerate(sorted(unresolved)):
                     grow = lo + r
-                    b_cur = yield from ctx.read(b_region, grow, grow + 1)
-                    yield from ctx.write(
-                        b_region,
-                        grow,
-                        values=[float(b_cur[0]) - float(coeffs[j]) * x_k],
+                    coeff = float(coeffs[j])
+                    yield from ctx.run_batch(
+                        ctx.batch()
+                        .read(b_region, grow, grow + 1)
+                        .write(
+                            b_region,
+                            grow,
+                            values=lambda got, c=coeff: [float(got[0][0]) - c * x_k],
+                        )
                     )
                 yield from ctx.compute_flops(2 * len(unresolved))
     return x

@@ -35,47 +35,73 @@ def _is_power_of_two(value: int) -> bool:
     return value > 0 and value & (value - 1) == 0
 
 
-def _sweep(ctx, problem, regions, z_region, lo, hi, omega):
-    """One Gauss-Seidel sweep over the local rows against ``z_region``."""
+def _row_plans(ctx, problem, regions, z_region, lo, hi, omega):
+    """Prebuild each row's sweep and residual bulk runs.
+
+    The CSR structure is static, so the per-row op sequence — read
+    columns, read data, gather z at the columns, read z_i, (sweep only)
+    write the clamped update, then the per-row compute — never changes.
+    The SOR update itself runs inside the write's values-callable: the
+    gathered z values it needs are the batch results read just before.
+    """
     indptr = problem.indptr
+    base = int(indptr[lo])
+    sweep_scripts = []
+    resid_rows = []
     for i in range(lo, hi):
         start, end = int(indptr[i]), int(indptr[i + 1])
-        local = start - int(indptr[lo])
-        cols = yield from ctx.read(
-            regions["indices"], local, local + (end - start)
+        local = start - base
+        nnz = end - start
+        cols = problem.indices[start:end]
+        q_i, d_i = float(problem.q[i]), float(problem.diag[i])
+
+        def sor_update(got, _q=q_i, _d=d_i):
+            z_i = float(got[3][0])
+            residual_i = _q + float(np.dot(got[1], got[2])) + _d * z_i
+            return [max(0.0, z_i - omega * residual_i / _d)]
+
+        sweep_scripts.append(
+            ctx.batch()
+            .read(regions["indices"], local, local + nnz)
+            .read(regions["data"], local, local + nnz)
+            .read_gather(z_region, cols)
+            .read(z_region, i, i + 1)
+            .write(z_region, i, values=sor_update)
+            .compute_flops(2 * nnz + 4)
+            .compute(
+                ctx.costs.divs(1)
+                + ctx.costs.int_ops(4 + SWEEP_INT_OPS_PER_NNZ * nnz)
+            )
         )
-        vals = yield from ctx.read(regions["data"], local, local + (end - start))
-        z_cols = yield from ctx.read_gather(z_region, cols)
-        z_i = yield from ctx.read(z_region, i, i + 1)
-        residual_i = (
-            problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
+        resid_rows.append(
+            (
+                i,
+                ctx.batch()
+                .read(regions["indices"], local, local + nnz)
+                .read(regions["data"], local, local + nnz)
+                .read_gather(z_region, cols)
+                .read(z_region, i, i + 1)
+                .compute_flops(2 * nnz + 4)
+                .compute(ctx.costs.int_ops(SWEEP_INT_OPS_PER_NNZ * nnz)),
+            )
         )
-        new_value = max(0.0, float(z_i[0]) - omega * residual_i / problem.diag[i])
-        yield from ctx.write(z_region, i, values=[new_value])
-        yield from ctx.compute_flops(2 * (end - start) + 4)
-        yield from ctx.compute(
-            ctx.costs.divs(1)
-            + ctx.costs.int_ops(4 + SWEEP_INT_OPS_PER_NNZ * (end - start))
-        )
+    return sweep_scripts, resid_rows
 
 
-def _local_residual(ctx, problem, regions, z_region, lo, hi):
+def _sweep(ctx, sweep_scripts):
+    """One Gauss-Seidel sweep over the local rows (prebuilt bulk runs)."""
+    for script in sweep_scripts:
+        yield from ctx.run_batch(script)
+
+
+def _local_residual(ctx, problem, resid_rows):
     """Complementarity residual over the local rows (one full pass)."""
-    indptr = problem.indptr
     worst = 0.0
-    for i in range(lo, hi):
-        start, end = int(indptr[i]), int(indptr[i + 1])
-        local = start - int(indptr[lo])
-        cols = yield from ctx.read(regions["indices"], local, local + (end - start))
-        vals = yield from ctx.read(regions["data"], local, local + (end - start))
-        z_cols = yield from ctx.read_gather(z_region, cols)
-        z_i = yield from ctx.read(z_region, i, i + 1)
-        w_i = problem.q[i] + float(np.dot(vals, z_cols)) + problem.diag[i] * float(z_i[0])
-        worst = max(worst, abs(min(float(z_i[0]), w_i)))
-        yield from ctx.compute_flops(2 * (end - start) + 4)
-        yield from ctx.compute(
-            ctx.costs.int_ops(SWEEP_INT_OPS_PER_NNZ * (end - start))
-        )
+    for i, script in resid_rows:
+        got = yield from ctx.run_batch(script)
+        z_i = float(got[3][0])
+        w_i = problem.q[i] + float(np.dot(got[1], got[2])) + problem.diag[i] * z_i
+        worst = max(worst, abs(min(z_i, w_i)))
     return worst
 
 
@@ -122,11 +148,12 @@ def lcp_mp_program(ctx, config: LcpConfig, problem: LcpProblem, asynchronous: bo
 
     steps = 0
     with ctx.stats.phase("main"):
+        sweep_scripts, resid_rows = _row_plans(
+            ctx, problem, regions, z_region, lo, hi, config.omega
+        )
         while steps < config.max_steps:
             for _sweep_index in range(config.sweeps_per_step):
-                yield from _sweep(
-                    ctx, problem, regions, z_region, lo, hi, config.omega
-                )
+                yield from _sweep(ctx, sweep_scripts)
                 if asynchronous and nprocs > 1:
                     # Star communication: push my portion everywhere.
                     mine = yield from ctx.read(z_region, lo, hi)
@@ -154,9 +181,7 @@ def lcp_mp_program(ctx, config: LcpConfig, problem: LcpProblem, asynchronous: bo
                         recv_channels[partner], (phi - plo) * 8
                     )
             steps += 1
-            worst = yield from _local_residual(
-                ctx, problem, regions, z_region, lo, hi
-            )
+            worst = yield from _local_residual(ctx, problem, resid_rows)
             total = yield from ctx.coll.allreduce(worst, max)
             if total < config.tolerance:
                 break

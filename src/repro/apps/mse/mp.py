@@ -100,14 +100,20 @@ def mse_mp_program(ctx, config: MseConfig, problem: MseProblem):
 
             # Jacobi updates of owned rows; the kernel row is recomputed,
             # so the only memory traffic is positions + solution scans.
+            # Each row is one declared bulk run; the Jacobi update is
+            # untimed Python against the views.
+            row_script = (
+                ctx.batch()
+                .read(positions)
+                .read(solution)
+                .compute_flops(problem.kernel_flops())
+            )
             new_values = np.empty(row_hi - row_lo)
             for i in range(row_lo, row_hi):
-                yield from ctx.read(positions)
-                yield from ctx.read(solution)
+                yield from ctx.run_batch(row_script)
                 new_values[i - row_lo] = problem.jacobi_row_update(
                     solution_np, i, config.omega
                 )
-                yield from ctx.compute_flops(problem.kernel_flops())
                 # Service incoming requests between rows (the paper's
                 # asynchronous request servicing).
                 yield from ctx.drain_polls()

@@ -69,6 +69,11 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Bumped on every content mutation (insert/set_state/invalidate/
+        # flush). A probe verdict computed at version V stays valid while
+        # the version still reads V: hits never mutate content, so the
+        # batched backend memoizes all-hit verdicts against this stamp.
+        self.version = 0
 
     def _set_index(self, block_addr: int) -> int:
         return (block_addr // self.block_bytes) % self.num_sets
@@ -107,6 +112,7 @@ class Cache:
         self._aligned(block_addr)
         if state is LineState.INVALID:
             raise CacheError("cannot insert an INVALID line")
+        self.version += 1
         line_set = self._sets[self._set_index(block_addr)]
         if block_addr in line_set:
             line_set[block_addr] = state
@@ -133,6 +139,7 @@ class Cache:
             raise CacheError(f"block {block_addr:#x} not present in {self.name}")
         if state is LineState.INVALID:
             raise CacheError("use invalidate() to remove a line")
+        self.version += 1
         line_set[block_addr] = state
         self._lines[block_addr] = state
 
@@ -142,8 +149,40 @@ class Cache:
         line_set = self._sets[self._set_index(block_addr)]
         prior = line_set.pop(block_addr, _INVALID)
         if prior is not _INVALID:
+            self.version += 1
             del self._lines[block_addr]
         return prior
+
+    def run_states(self, blocks) -> Optional[List[LineState]]:
+        """Vectorized probe: states of a whole run of blocks, or None.
+
+        Returns the per-block states only if *every* block is resident;
+        a single absent block returns None immediately. No hit/miss
+        counters are touched — the batched backend probes first and, on
+        an all-hit run, commits ``hits += len(run)`` in one bump (the
+        exact count the scalar :meth:`lookup` loop would have produced).
+        """
+        get = self._lines.get
+        states: List[LineState] = []
+        append = states.append
+        for block in blocks:
+            state = get(block)
+            if state is None:
+                return None
+            append(state)
+        return states
+
+    def run_resident(self, blocks) -> bool:
+        """Vectorized probe: True if every block of the run is resident.
+
+        Counter-neutral, like :meth:`run_states`; the read-only variant
+        skips materializing the state list.
+        """
+        get = self._lines.get
+        for block in blocks:
+            if get(block) is None:
+                return False
+        return True
 
     def resident_blocks(self) -> int:
         """Total lines currently valid (for tests and sanity checks)."""
@@ -151,6 +190,7 @@ class Cache:
 
     def flush(self) -> None:
         """Drop every line without eviction callbacks (test helper)."""
+        self.version += 1
         for line_set in self._sets:
             line_set.clear()
         self._lines.clear()

@@ -27,6 +27,10 @@ class Tlb:
         self._fifo: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Bumped whenever the resident set changes (miss-install, flush).
+        # FIFO hits do not refresh positions, so a residency verdict
+        # computed at version V stays valid while the version reads V.
+        self.version = 0
 
     def _page_of(self, addr: int) -> int:
         if self._page_mask is not None:
@@ -48,6 +52,7 @@ class Tlb:
             self.hits += 1
             return True
         self.misses += 1
+        self.version += 1
         if len(fifo) >= self.entries:
             fifo.popitem(last=False)
         fifo[page] = None
@@ -57,6 +62,28 @@ class Tlb:
         """Whether the page of ``addr`` is resident (no counter update)."""
         return self._page_of(addr) in self._fifo
 
+    def run_resident(self, addrs) -> bool:
+        """Vectorized probe: True if every addr's page is resident.
+
+        Counter-neutral: the batched backend probes a whole run first
+        and, when everything hits, commits ``hits += len(run)`` in one
+        bump — the exact count the scalar :meth:`access` loop would
+        have produced. Any miss returns False with nothing installed.
+        """
+        fifo = self._fifo
+        mask = self._page_mask
+        if mask is not None:
+            for addr in addrs:
+                if addr & mask not in fifo:
+                    return False
+        else:
+            page_bytes = self.page_bytes
+            for addr in addrs:
+                if addr - (addr % page_bytes) not in fifo:
+                    return False
+        return True
+
     def flush(self) -> None:
         """Drop all translations."""
+        self.version += 1
         self._fifo.clear()

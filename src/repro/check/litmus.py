@@ -155,9 +155,11 @@ def _litmus_program(ctx, test: LitmusTest, regions: Dict[str, object],
             raise TypeError(f"unknown litmus op {op!r}")
 
 
-def _run_once(test: LitmusTest, seed: int) -> Outcome:
+def _run_once(test: LitmusTest, seed: int, backend: str = "batched") -> Outcome:
     machine = SmMachine(
-        MachineParams.paper(num_processors=test.nprocs), seed=1994 + seed
+        MachineParams.paper(num_processors=test.nprocs),
+        seed=1994 + seed,
+        backend=backend,
     )
     regions = {}
     for var in test.variables():
@@ -180,19 +182,22 @@ def run_litmus(
     test: LitmusTest,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     check_invariants: bool = True,
+    backend: str = "batched",
 ) -> Counter:
     """Run one shape across ``seeds``; returns the outcome histogram.
 
     Raises :class:`CheckError` the moment the shape's forbidden outcome
-    is observed (or any runtime invariant trips mid-run).
+    is observed (or any runtime invariant trips mid-run). ``backend``
+    selects the execution backend — the differential suite runs the
+    shapes under both to show the invariants hold identically.
     """
     observed: Counter = Counter()
     for seed in seeds:
         if check_invariants and not check.active().enabled:
             with check.checking():
-                outcome = _run_once(test, seed)
+                outcome = _run_once(test, seed, backend=backend)
         else:
-            outcome = _run_once(test, seed)
+            outcome = _run_once(test, seed, backend=backend)
         if test.forbidden(outcome):
             raise CheckError(
                 "litmus",
@@ -205,11 +210,12 @@ def run_litmus(
 def run_suite(
     tests: Sequence[LitmusTest] = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    backend: str = "batched",
 ) -> Dict[str, Counter]:
     """Run every shape; returns ``{name: outcome histogram}``."""
     results = {}
     for test in LITMUS_TESTS if tests is None else tests:
-        results[test.name] = run_litmus(test, seeds=seeds)
+        results[test.name] = run_litmus(test, seeds=seeds, backend=backend)
     return results
 
 

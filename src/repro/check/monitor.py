@@ -356,13 +356,13 @@ class Checker:
         # mid-operation, so a shadow first materialized afterwards would
         # capture post-op values and mislabel the op's own effect.
 
-        def read(region, lo=0, hi=None):
+        def read(region, start=0, stop=None, **kwargs):
             tracked = checker._oracle_region(region)
             if tracked:
                 checker._shadow(st, region)
-            values = yield from orig_read(region, lo, hi)
+            values = yield from orig_read(region, start, stop, **kwargs)
             if tracked:
-                checker._check_loaded(st, pid, region, lo, values)
+                checker._check_loaded(st, pid, region, start, values)
             return values
 
         def read_gather(region, indices):
@@ -375,15 +375,17 @@ class Checker:
                 checker._check_loaded(st, pid, region, idx, values)
             return values
 
-        def write(region, lo, values=None, hi=None):
+        def write(region, start=0, stop=None, values=None, **kwargs):
             tracked = checker._oracle_region(region)
             if tracked:
                 checker._shadow(st, region)
-            result = yield from orig_write(region, lo, values=values, hi=hi)
+            result = yield from orig_write(
+                region, start, stop, values=values, **kwargs
+            )
             if tracked:
-                end = lo + np.asarray(values).size if values is not None else hi
+                end = start + np.asarray(values).size if values is not None else stop
                 shadow = checker._shadow(st, region)
-                shadow[lo:end] = region.np.reshape(-1)[lo:end]
+                shadow[start:end] = region.np.reshape(-1)[start:end]
             return result
 
         def write_scatter(region, indices, values):

@@ -115,19 +115,22 @@ def run_sm_stress(
     seed: int = 0,
     nprocs: int = 4,
     checker: Optional[check.Checker] = None,
+    backend: str = "batched",
 ) -> Dict[str, int]:
     """Random load/store/lock stress on the SM machine under the checker."""
     schedule = _sm_schedule(ops, seed, nprocs)
     if checker is None and not check.active().enabled:
         with check.checking() as checker:
-            return _run_sm_stress(schedule, seed, nprocs, checker)
+            return _run_sm_stress(schedule, seed, nprocs, checker, backend)
     active = checker if checker is not None else check.active()
-    return _run_sm_stress(schedule, seed, nprocs, active)
+    return _run_sm_stress(schedule, seed, nprocs, active, backend)
 
 
-def _run_sm_stress(schedule, seed, nprocs, checker) -> Dict[str, int]:
+def _run_sm_stress(schedule, seed, nprocs, checker, backend="batched") -> Dict[str, int]:
     machine = SmMachine(
-        MachineParams.paper(num_processors=nprocs), seed=2718 + seed
+        MachineParams.paper(num_processors=nprocs),
+        seed=2718 + seed,
+        backend=backend,
     )
     region = machine.space.alloc_shared(
         "stress.data", owner=0, shape=_SM_REGION_ELEMS, dtype=np.float64
@@ -242,6 +245,7 @@ def run_mp_stress(
     seed: int = 0,
     nprocs: int = 4,
     checker: Optional[check.Checker] = None,
+    backend: str = "batched",
 ) -> Dict[str, int]:
     """Random sequenced-message stress on the MP machine under the checker.
 
@@ -256,14 +260,18 @@ def run_mp_stress(
             expected[dest] += 1
     if checker is None and not check.active().enabled:
         with check.checking(check.Checker(strict_quiescence=True)) as checker:
-            return _run_mp_stress(schedule, expected, seed, nprocs, checker)
+            return _run_mp_stress(schedule, expected, seed, nprocs, checker, backend)
     active = checker if checker is not None else check.active()
-    return _run_mp_stress(schedule, expected, seed, nprocs, active)
+    return _run_mp_stress(schedule, expected, seed, nprocs, active, backend)
 
 
-def _run_mp_stress(schedule, expected, seed, nprocs, checker) -> Dict[str, int]:
+def _run_mp_stress(
+    schedule, expected, seed, nprocs, checker, backend="batched"
+) -> Dict[str, int]:
     machine = MpMachine(
-        MachineParams.paper(num_processors=nprocs), seed=3141 + seed
+        MachineParams.paper(num_processors=nprocs),
+        seed=3141 + seed,
+        backend=backend,
     )
     result = machine.run(_mp_stress_program, schedule, expected)
     delivered = sum(result.outputs)

@@ -297,10 +297,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro import bench
+    from repro.runner import bench
 
     print("running kernel benchmarks...", file=sys.stderr, flush=True)
-    document = bench.run_benchmarks(quick=args.quick, apps=not args.no_apps)
+    document = bench.run_benchmarks(
+        quick=args.quick, apps=not args.no_apps, backend=args.backend
+    )
     rate = document["kernel"]["events_per_sec"]
     print(f"kernel aggregate: {rate} events/sec")
 
@@ -345,13 +347,9 @@ def _parse_procs(text: str) -> List[int]:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    import time
-
-    from repro import trace
-    from repro.runner.api import resolve_config
+    from repro import api
     from repro.runner.cache import cache_key
     from repro.runner.record import build_record
-    from repro.trace.chrome import to_chrome, validate_chrome_trace
     from repro.trace.timeline import render_timeline
 
     try:
@@ -360,7 +358,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"repro trace: error: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    config = resolve_config(args.experiment)
+    config = api.resolve_config(args.experiment)
     key = cache_key(config)
     cache = ResultCache()
 
@@ -381,19 +379,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 print(f"\ntrace: {path} (cached; --force re-simulates)")
                 return 0
 
-    tracer = trace.Tracer(procs=args.procs, max_events=args.max_events)
-    trace.install(tracer)
-    start = time.perf_counter()
-    try:
-        result = spec.runner(config)
-    finally:
-        trace.uninstall()
-    elapsed = time.perf_counter() - start
-
-    doc = to_chrome(tracer, meta={"experiment": args.experiment})
-    errors = validate_chrome_trace(doc)
-    if errors:
-        for error in errors:
+    traced = api.trace_for(
+        args.experiment, procs=args.procs, max_events=args.max_events
+    )
+    doc = traced.document
+    if traced.errors:
+        for error in traced.errors:
             print(f"repro trace: schema error: {error}", file=sys.stderr)
         return 1
 
@@ -409,16 +400,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 2
 
     print(render_timeline(doc))
-    dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+    dropped = f", {traced.dropped} dropped" if traced.dropped else ""
     print(
         f"\ntrace: {out_path} "
-        f"({len(doc['traceEvents'])} events{dropped}, ran in {elapsed:.1f}s)"
+        f"({len(doc['traceEvents'])} events{dropped}, "
+        f"ran in {traced.elapsed_seconds:.1f}s)"
     )
 
     # Attach the trace to the cached record so the next invocation (and
     # `repro run`) reuse both. Only full traces are worth attaching.
     if reusable:
-        record = build_record(spec, config, result, elapsed, key=key)
+        record = build_record(
+            spec, config, traced.result, traced.elapsed_seconds, key=key
+        )
         record.trace_path = str(out_path)
         cache.store(record)
     return 0
@@ -565,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="smaller iteration counts (CI smoke)")
     bench_parser.add_argument("--no-apps", action="store_true",
                               help="skip the end-to-end app timings")
+    bench_parser.add_argument("--backend", choices=("batched", "reference"),
+                              default="batched",
+                              help="execution backend for the app timings "
+                                   "(default: batched)")
     bench_parser.set_defaults(handler=cmd_bench)
 
     trace_parser = subparsers.add_parser(

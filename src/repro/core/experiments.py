@@ -215,8 +215,8 @@ VALIDATION_CONFIG = ExperimentConfig(exp_id="validation", procs=2, seed=_SEED)
 
 def run_mse_pair(config: ExperimentConfig) -> PairResult:
     params = config.machine_params()
-    mp_result, _x = run_mse_mp(MpMachine(params, seed=config.seed), config.app)
-    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=config.seed), config.app)
+    mp_result, _x = run_mse_mp(MpMachine(params, seed=config.seed, backend=config.backend), config.app)
+    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=config.seed, backend=config.backend), config.app)
     return PairResult(
         name="MSE", mp_result=mp_result, sm_result=sm_result,
         phases=["init", "main"],
@@ -225,8 +225,8 @@ def run_mse_pair(config: ExperimentConfig) -> PairResult:
 
 def run_gauss_pair(config: ExperimentConfig) -> PairResult:
     params = config.machine_params()
-    mp_result, _x = run_gauss_mp(MpMachine(params, seed=config.seed), config.app)
-    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=config.seed), config.app)
+    mp_result, _x = run_gauss_mp(MpMachine(params, seed=config.seed, backend=config.backend), config.app)
+    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=config.seed, backend=config.backend), config.app)
     extra = {"directory_queue_delay": sm_result.machine.directory_contention()}
     return PairResult(
         name="Gauss", mp_result=mp_result, sm_result=sm_result,
@@ -240,7 +240,7 @@ def run_gauss_collectives(config: ExperimentConfig) -> Dict[str, float]:
     for strategy in config.opt("strategies", ("flat", "binary", "lopsided")):
         machine = MpMachine(
             config.machine_params(),
-            seed=config.seed,
+            seed=config.seed, backend=config.backend,
             collective_strategy=strategy,
         )
         result, _x = run_gauss_mp(machine, config.app)
@@ -261,7 +261,7 @@ def run_gauss_contention(config: ExperimentConfig) -> Dict[int, Dict[str, float]
     results: Dict[int, Dict[str, float]] = {}
     for nprocs in config.opt("proc_counts", (4, 8, 16)):
         machine = SmMachine(
-            config.machine_params(procs=nprocs), seed=config.seed
+            config.machine_params(procs=nprocs), seed=config.seed, backend=config.backend
         )
         run, _x = run_gauss_sm(machine, config.app)
         board = run.board
@@ -280,10 +280,10 @@ def run_em3d_pair(config: ExperimentConfig) -> PairResult:
     params = config.machine_params()
     policy = HomePolicy(config.opt("policy", HomePolicy.ROUND_ROBIN.value))
     mp_result, _e, _h = run_em3d_mp(
-        MpMachine(params, seed=config.seed), config.app
+        MpMachine(params, seed=config.seed, backend=config.backend), config.app
     )
     sm_result, _e2, _h2 = run_em3d_sm(
-        SmMachine(params, seed=config.seed, allocation_policy=policy), config.app
+        SmMachine(params, seed=config.seed, backend=config.backend, allocation_policy=policy), config.app
     )
     return PairResult(
         name="EM3D", mp_result=mp_result, sm_result=sm_result,
@@ -300,11 +300,11 @@ def run_em3d_protocols(config: ExperimentConfig) -> Dict[str, Any]:
     """
     params = config.machine_params()
     mp_result, _e, _h = run_em3d_mp(
-        MpMachine(params, seed=config.seed), config.app
+        MpMachine(params, seed=config.seed, backend=config.backend), config.app
     )
     results: Dict[str, Any] = {"mp": mp_result}
     for variant in config.opt("variants", ("base", "flush", "update")):
-        machine = SmMachine(params, seed=config.seed)
+        machine = SmMachine(params, seed=config.seed, backend=config.backend)
         sm_result, _e2, _h2 = run_em3d_sm(machine, config.app, variant=variant)
         results[variant] = sm_result
     return results
@@ -314,10 +314,10 @@ def run_lcp_pair(config: ExperimentConfig) -> PairResult:
     asynchronous = bool(config.opt("asynchronous", False))
     params = config.machine_params()
     mp_result, _z, mp_steps = run_lcp_mp(
-        MpMachine(params, seed=config.seed), config.app, asynchronous=asynchronous
+        MpMachine(params, seed=config.seed, backend=config.backend), config.app, asynchronous=asynchronous
     )
     sm_result, _z2, sm_steps = run_lcp_sm(
-        SmMachine(params, seed=config.seed), config.app, asynchronous=asynchronous
+        SmMachine(params, seed=config.seed, backend=config.backend), config.app, asynchronous=asynchronous
     )
     return PairResult(
         name="ALCP" if asynchronous else "LCP",
@@ -340,7 +340,7 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
     params = config.machine_params()
 
     # Message-passing: one-way active-message latency.
-    mp_machine = MpMachine(params, seed=config.seed)
+    mp_machine = MpMachine(params, seed=config.seed, backend=config.backend)
     times = {}
 
     def on_ping(ctx, packet):
@@ -369,7 +369,7 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
     }
 
     # Barrier release latency.
-    bar_machine = MpMachine(params, seed=config.seed)
+    bar_machine = MpMachine(params, seed=config.seed, backend=config.backend)
     release = {}
 
     def barrier_program(ctx):
@@ -384,7 +384,7 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
     }
 
     # Shared memory: remote miss to idle data (the paper's ~250 cycles).
-    sm_machine = SmMachine(params, seed=config.seed)
+    sm_machine = SmMachine(params, seed=config.seed, backend=config.backend)
     miss = {}
 
     def sm_program(ctx):

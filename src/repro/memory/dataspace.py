@@ -60,6 +60,9 @@ class Region:
         self.name = name
         self.base = base
         self.np = array
+        # Cached flat view: the access hot paths slice/index the region
+        # element-wise far more often than they see its declared shape.
+        self.flat = array.reshape(-1)
         self.segment = segment
         self.owner = owner
         self.policy = policy

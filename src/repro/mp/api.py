@@ -30,8 +30,9 @@ import numpy as np
 from repro.arch.cache import LineState
 from repro.memory.dataspace import Region
 from repro.mp.netiface import Packet
+from repro.sim.batch import BatchScript, reject_unknown_kwargs, run_batch_reference
 from repro.sim.events import SimEvent
-from repro.sim.process import Delay, Wait
+from repro.sim.process import Wait, delay_of
 from repro.stats.categories import MpCat
 
 
@@ -80,7 +81,7 @@ class MpContext:
         if cycles <= 0:
             return
         self.stats.charge(MpCat.COMPUTE, cycles)
-        yield Delay(cycles)
+        yield delay_of(cycles)
 
     def compute_flops(self, count: float) -> Generator:
         yield from self.compute(self.costs.flops(count))
@@ -124,36 +125,44 @@ class MpContext:
             stats_count("local_misses", misses)
         return stall
 
-    def read(self, region: Region, lo: int = 0, hi: Optional[int] = None) -> Generator:
-        """Read elements [lo, hi); returns the numpy view after miss stalls."""
-        if hi is None:
-            hi = region.np.size
-        stall = self._touch_range(region, lo, hi, write=False)
+    def read(
+        self, region: Region, start: int = 0, stop: Optional[int] = None, **kwargs
+    ) -> Generator:
+        """Read elements [start, stop); returns the numpy view after miss stalls."""
+        if kwargs:
+            reject_unknown_kwargs("read", kwargs, ("start", "stop"))
+        if stop is None:
+            stop = region.np.size
+        stall = self._touch_range(region, start, stop, write=False)
         if stall:
             self.stats.charge(MpCat.LOCAL_MISS, stall)
-            yield Delay(stall)
-        return region.np.reshape(-1)[lo:hi]
+            yield delay_of(stall)
+        return region.np.reshape(-1)[start:stop]
 
     def write(
         self,
         region: Region,
-        lo: int,
+        start: int = 0,
+        stop: Optional[int] = None,
+        *,
         values: Optional[Sequence] = None,
-        hi: Optional[int] = None,
+        **kwargs,
     ) -> Generator:
-        """Write elements starting at ``lo`` (length from ``values`` or ``hi``)."""
+        """Write elements [start, stop) (``stop`` inferred from ``values``)."""
+        if kwargs:
+            reject_unknown_kwargs("write", kwargs, ("start", "stop", "values"))
         flat = region.np.reshape(-1)
         if values is not None:
             values = np.asarray(values)
-            hi = lo + values.size
-        if hi is None:
-            raise ValueError("write needs values or hi")
-        stall = self._touch_range(region, lo, hi, write=True)
+            stop = start + values.size
+        if stop is None:
+            raise ValueError("write needs values or stop")
+        stall = self._touch_range(region, start, stop, write=True)
         if values is not None:
-            flat[lo:hi] = values.reshape(-1)
+            flat[start:stop] = values.reshape(-1)
         if stall:
             self.stats.charge(MpCat.LOCAL_MISS, stall)
-            yield Delay(stall)
+            yield delay_of(stall)
 
     def read_gather(self, region: Region, indices: Sequence[int]) -> Generator:
         """Indexed read: touches the unique blocks under ``indices``."""
@@ -184,8 +193,23 @@ class MpContext:
             stats_count("local_misses", misses)
         if stall:
             self.stats.charge(MpCat.LOCAL_MISS, stall)
-            yield Delay(stall)
+            yield delay_of(stall)
         return region.np.reshape(-1)[np.asarray(indices, dtype=np.int64)]
+
+    # -- declared bulk runs ---------------------------------------------------
+
+    def batch(self) -> BatchScript:
+        """Start a declared bulk run (see :mod:`repro.sim.batch`)."""
+        return BatchScript()
+
+    def run_batch(self, script: BatchScript) -> Generator:
+        """Execute a batch script; returns the list of read results.
+
+        On the reference backend this decomposes into the exact scalar
+        ops the program would have made; the batched backend overrides
+        it with a single-step executor that is bit-identical.
+        """
+        return (yield from run_batch_reference(self, script))
 
     # -- network interface ----------------------------------------------------
 
@@ -215,7 +239,7 @@ class MpContext:
         self.stats.count("messages_sent", npackets)
         self.stats.count("data_bytes", data_bytes)
         self.stats.count("control_bytes", control_bytes)
-        yield Delay(ni_cycles)
+        yield delay_of(ni_cycles)
         packet = Packet(
             src=self.pid,
             dest=dest,
@@ -234,13 +258,13 @@ class MpContext:
         """
         mp = self.params.mp
         self.stats.charge(MpCat.NETWORK_ACCESS, mp.ni_status_cycles)
-        yield Delay(mp.ni_status_cycles)
+        yield delay_of(mp.ni_status_cycles)
         packet = self.ni.dequeue()
         if packet is None:
             return False
         recv_cycles = packet.count * mp.recv_packet_cycles
         self.stats.charge(MpCat.NETWORK_ACCESS, recv_cycles)
-        yield Delay(recv_cycles)
+        yield delay_of(recv_cycles)
         yield from self.am.dispatch(packet)
         return True
 
@@ -309,7 +333,7 @@ class MpContext:
                 yield from self.compute(mp.interrupt_dispatch_cycles)
             recv_cycles = packet.count * mp.recv_packet_cycles
             self.stats.charge(MpCat.NETWORK_ACCESS, recv_cycles)
-            yield Delay(recv_cycles)
+            yield delay_of(recv_cycles)
             yield from self.am.dispatch(packet)
             # Handler side effects may satisfy a poll_wait predicate.
             self.ni.arrival_gate.pulse()

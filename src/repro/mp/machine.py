@@ -18,6 +18,7 @@ from repro.arch.tlb import Tlb
 from repro.memory.dataspace import DataSpace
 from repro.mp.active_messages import AmLayer
 from repro.mp.api import MpContext
+from repro.mp.batched import BatchedMpContext
 from repro.mp.cmmd import CmmdLib
 from repro.mp.collectives import CollectiveGroup
 from repro.mp.netiface import NetworkInterface, Packet
@@ -79,7 +80,13 @@ class MpMachine:
         seed: int = 1994,
         costs: Optional[CostModel] = None,
         collective_strategy: str = "lopsided",
+        backend: str = "batched",
     ) -> None:
+        if backend not in ("reference", "batched"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'reference' or 'batched'"
+            )
+        self.backend = backend
         self.params = params or MachineParams.paper()
         self.costs = costs or CostModel()
         self.engine = Engine()
@@ -90,7 +97,8 @@ class MpMachine:
             self.engine, self.nprocs, self.params.common.barrier_latency
         )
         self.nodes = [MpNode(self, pid) for pid in range(self.nprocs)]
-        self.contexts = [MpContext(self, pid) for pid in range(self.nprocs)]
+        context_cls = BatchedMpContext if backend == "batched" else MpContext
+        self.contexts = [context_cls(self, pid) for pid in range(self.nprocs)]
         for ctx in self.contexts:
             ctx.am = AmLayer(ctx)
             ctx.cmmd = CmmdLib(ctx)
@@ -115,7 +123,11 @@ class MpMachine:
         if not 0 <= packet.dest < self.nprocs:
             raise ValueError(f"bad destination {packet.dest}")
         latency = self.params.common.network_latency
-        self.engine.schedule(latency, lambda: self.nodes[packet.dest].ni.enqueue(packet))
+        # Bare continuation: deliveries are never cancelled, so the
+        # handle-free path keeps the same (time, seq) ordering without
+        # allocating a ScheduledAction.
+        ni = self.nodes[packet.dest].ni
+        self.engine._schedule_step(latency, lambda: ni.enqueue(packet))
 
     def _wrap(self, program: Callable[..., Generator], ctx: MpContext, args: tuple) -> Generator:
         result = yield from program(ctx, *args)

@@ -27,7 +27,7 @@ from repro.runner.config import ExperimentConfig
 from repro.runner.record import RECORD_SCHEMA, RunRecord
 
 #: Bump manually when simulator semantics change (cycle counts move).
-CODE_SALT = "repro-runner-v2"  # v2: human_quantity 1e6 cutoff changed rendered tables
+CODE_SALT = "repro-runner-v3"  # v3: backend field joined the config key
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"

@@ -62,6 +62,14 @@ class ExperimentConfig:
     overrides the same way (``network_latency``, ``block_bytes``,
     ``tlb_entries``, ...) — the sensitivity-sweep axes that are machine
     knobs rather than workload knobs.
+
+    ``backend`` selects the execution backend: ``"batched"`` (default)
+    runs zero-stall memory ops as batched steps, ``"reference"`` runs
+    the pure per-event scalar semantics. The two are bit-identical in
+    every simulated quantity (enforced by the differential backend test
+    suite), so the choice only affects wall-clock speed — but it is
+    still part of the cache key, keeping records honest about how they
+    were produced.
     """
 
     exp_id: str
@@ -71,8 +79,15 @@ class ExperimentConfig:
     app: Any = None
     options: Tuple[Tuple[str, Any], ...] = ()
     machine: Tuple[Tuple[str, Any], ...] = ()
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("reference", "batched"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}"
+                f"{suggest(self.backend, ['reference', 'batched'])}; "
+                "known: ['batched', 'reference']"
+            )
         object.__setattr__(
             self, "options", tuple(sorted((str(k), v) for k, v in self.options))
         )
@@ -167,6 +182,7 @@ class ExperimentConfig:
             "app": _jsonable(self.app),
             "options": _jsonable(dict(self.options)),
             "machine": asdict(self.machine_params()),
+            "backend": self.backend,
         }
 
 

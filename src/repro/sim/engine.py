@@ -85,6 +85,7 @@ class Engine:
         "_executed",
         "_inline",
         "_max_events",
+        "_until",
         "events_executed",
         "dispatch_hook",
     )
@@ -101,6 +102,7 @@ class Engine:
         self._executed = 0
         self._inline = 0
         self._max_events: Optional[int] = None
+        self._until: Optional[int] = None
         #: Lifetime count of executed actions across all run() calls
         #: (inline process steps included); benchmarks read this.
         self.events_executed = 0
@@ -175,6 +177,7 @@ class Engine:
         self._executed = 0
         self._inline = 0
         self._max_events = max_events
+        self._until = until
         heap = self._heap
         due = self._due
         heappop = heapq.heappop
@@ -223,6 +226,9 @@ class Engine:
                         break
                     entry()
                     executed += 1
+                    # consume_inline_delay() may advance time while the
+                    # entry runs; resync the local copy.
+                    now = self._now
             else:
                 while True:
                     if self._stop_requested:
@@ -284,6 +290,7 @@ class Engine:
         finally:
             self._running = False
             self._max_events = None
+            self._until = None
             executed += self._inline
             self._executed = executed
             self.events_executed += executed
@@ -313,6 +320,45 @@ class Engine:
             # The scheduled path would have stopped before running this
             # step; declining keeps the accounting exact.
             return False
+        self._inline += 1
+        return True
+
+    def consume_inline_delay(self, cycles: int) -> bool:
+        """Advance time ``cycles`` inline for the currently-running action.
+
+        The batched backend's time-advance fast path: a positive
+        ``Delay`` normally suspends the process and re-enters the event
+        loop via the heap. When the suspended continuation would be the
+        *very next* event anyway — nothing due now, every heap entry
+        strictly later than the resume time, no stop requested, and the
+        ``until``/``max_events`` budgets have room — the delay is granted
+        inline: time jumps forward and the process keeps running without
+        touching the heap. Any other state returns False and the caller
+        schedules normally, so event interleaving (and therefore every
+        cycle count) is bit-identical to the scheduled path.
+        """
+        if (
+            self._due
+            or not self._running
+            or self._stop_requested
+            or cycles <= 0
+        ):
+            return False
+        resume = self._now + cycles
+        heap = self._heap
+        if heap and heap[0][0] <= resume:
+            # A cancelled top entry would be skipped by the loop, but
+            # proving that here costs more than declining; fall back.
+            return False
+        until = self._until
+        if until is not None and resume > until:
+            return False
+        if (
+            self._max_events is not None
+            and self._executed + self._inline + 1 >= self._max_events
+        ):
+            return False
+        self._now = resume
         self._inline += 1
         return True
 

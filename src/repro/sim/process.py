@@ -45,6 +45,20 @@ class Delay:
         return f"Delay({self.cycles})"
 
 
+#: Interned small delays. A Delay is immutable once built and the kernel
+#: only ever reads ``cycles``, so the same instance can be yielded by any
+#: number of processes; the hot protocol paths use :func:`delay_of` to
+#: skip the per-yield allocation.
+_DELAY_CACHE = tuple(Delay(c) for c in range(257))
+
+
+def delay_of(cycles: int) -> Delay:
+    """An interned :class:`Delay` for small cycle counts."""
+    if 0 <= cycles < 257:
+        return _DELAY_CACHE[cycles]
+    return Delay(cycles)
+
+
 class Wait:
     """Command: suspend the process until ``event`` fires."""
 
@@ -144,6 +158,9 @@ class Process:
                 # of Engine._schedule_step).
                 cycles = command.cycles
                 if cycles:
+                    if engine.consume_inline_delay(cycles):
+                        value = None
+                        continue
                     heappush(
                         engine._heap, (engine._now + cycles, engine._seq, cont)
                     )

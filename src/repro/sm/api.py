@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.arch.cache import LineState
 from repro.memory.dataspace import HomePolicy, Region, Segment
+from repro.sim.batch import BatchScript, reject_unknown_kwargs, run_batch_reference
 from repro.sim.events import SimEvent
-from repro.sim.process import Delay, Wait
+from repro.sim.process import Wait, delay_of
 from repro.sm.protocol import Msg, MsgType
 from repro.stats.categories import SmCat
 
@@ -42,6 +43,9 @@ class SmContext:
         self.cache = node.cache
         self.tlb = node.tlb
         self.space = machine.space
+        # Event names for the transaction hot path, built once.
+        self._txn_name = f"p{pid}.txn"
+        self._spin_name = f"p{pid}.spin"
 
     @property
     def nprocs(self) -> int:
@@ -91,37 +95,45 @@ class SmContext:
         if cycles <= 0:
             return
         self.stats.charge(SmCat.COMPUTE, cycles)
-        yield Delay(cycles)
+        yield delay_of(cycles)
 
     def compute_flops(self, count: float) -> Generator:
         yield from self.compute(self.costs.flops(count))
 
     # -- memory access ------------------------------------------------------------
 
-    def read(self, region: Region, lo: int = 0, hi: Optional[int] = None) -> Generator:
-        """Read elements [lo, hi); returns the numpy view."""
-        if hi is None:
-            hi = region.np.size
-        yield from self._access_range(region, lo, hi, write=False)
-        return region.np.reshape(-1)[lo:hi]
+    def read(
+        self, region: Region, start: int = 0, stop: Optional[int] = None, **kwargs
+    ) -> Generator:
+        """Read elements [start, stop); returns the numpy view."""
+        if kwargs:
+            reject_unknown_kwargs("read", kwargs, ("start", "stop"))
+        if stop is None:
+            stop = region.np.size
+        yield from self._access_range(region, start, stop, write=False)
+        return region.np.reshape(-1)[start:stop]
 
     def write(
         self,
         region: Region,
-        lo: int,
+        start: int = 0,
+        stop: Optional[int] = None,
+        *,
         values: Optional[Sequence] = None,
-        hi: Optional[int] = None,
+        **kwargs,
     ) -> Generator:
-        """Write elements starting at ``lo``."""
+        """Write elements [start, stop) (``stop`` inferred from ``values``)."""
+        if kwargs:
+            reject_unknown_kwargs("write", kwargs, ("start", "stop", "values"))
         flat = region.np.reshape(-1)
         if values is not None:
             values = np.asarray(values)
-            hi = lo + values.size
-        if hi is None:
-            raise ValueError("write needs values or hi")
-        yield from self._access_range(region, lo, hi, write=True)
+            stop = start + values.size
+        if stop is None:
+            raise ValueError("write needs values or stop")
+        yield from self._access_range(region, start, stop, write=True)
         if values is not None:
-            flat[lo:hi] = values.reshape(-1)
+            flat[start:stop] = values.reshape(-1)
 
     def read_gather(self, region: Region, indices: Sequence[int]) -> Generator:
         """Indexed read touching only the blocks under ``indices``."""
@@ -147,7 +159,7 @@ class SmContext:
                 self.stats.count("tlb_misses")
         if tlb_stall:
             self.stats.charge(SmCat.TLB_MISS, tlb_stall)
-            yield Delay(tlb_stall)
+            yield delay_of(tlb_stall)
         yield from self._access_blocks(
             region, addr_range.blocks(common.block_bytes), write, tlb_done=True
         )
@@ -174,7 +186,7 @@ class SmContext:
             if not tlb_done and not tlb_access(block):
                 self.stats.count("tlb_misses")
                 self.stats.charge(SmCat.TLB_MISS, common.tlb_miss_cycles)
-                yield Delay(common.tlb_miss_cycles)
+                yield delay_of(common.tlb_miss_cycles)
             state = lookup(block)
             if not shared:
                 if state is invalid:
@@ -202,7 +214,7 @@ class SmContext:
                     # Flush accumulated private stall before the transaction.
                     self.stats.charge(SmCat.PRIVATE_MISS, private_stall)
                     self.stats.count("private_misses", private_misses)
-                    yield Delay(private_stall)
+                    yield delay_of(private_stall)
                     private_stall = 0
                     private_misses = 0
                 yield from self._shared_transaction(region, block, write=write)
@@ -210,14 +222,14 @@ class SmContext:
                 if private_stall:
                     self.stats.charge(SmCat.PRIVATE_MISS, private_stall)
                     self.stats.count("private_misses", private_misses)
-                    yield Delay(private_stall)
+                    yield delay_of(private_stall)
                     private_stall = 0
                     private_misses = 0
                 yield from self._shared_transaction(region, block, write=True, upgrade=True)
         if private_stall:
             self.stats.charge(SmCat.PRIVATE_MISS, private_stall)
             self.stats.count("private_misses", private_misses)
-            yield Delay(private_stall)
+            yield delay_of(private_stall)
 
     def _install(self, block: int, state: LineState) -> int:
         """Insert a line; returns replacement cycles (and issues writebacks)."""
@@ -240,14 +252,15 @@ class SmContext:
         sm = self.params.sm
         home = region.home_of_block(block)
         self.machine.block_home[block] = home
-        start = self.engine.now
+        engine = self.engine
+        start = engine._now
         if upgrade:
             msg_type = MsgType.UPGRADE
-            yield Delay(sm.write_fault_detect_cycles)
+            yield delay_of(sm.write_fault_detect_cycles)
         else:
             msg_type = MsgType.GETX if write else MsgType.GETS
-            yield Delay(sm.shared_miss_cycles)
-        done = SimEvent(name=f"p{self.pid}.txn")
+            yield delay_of(sm.shared_miss_cycles)
+        done = SimEvent(name=self._txn_name)
         remote = home != self.pid
         if remote:
             # Network traffic only: messages to the local directory never
@@ -283,8 +296,8 @@ class SmContext:
                 block, LineState.EXCLUSIVE if write else LineState.SHARED
             )
         if repl:
-            yield Delay(repl)
-        elapsed = self.engine.now - start
+            yield delay_of(repl)
+        elapsed = engine._now - start
         if upgrade:
             self.stats.count("write_faults")
             self.stats.charge(SmCat.WRITE_FAULT, elapsed)
@@ -292,6 +305,21 @@ class SmContext:
             key = "shared_misses_local" if home == self.pid else "shared_misses_remote"
             self.stats.count(key)
             self.stats.charge(SmCat.SHARED_MISS, elapsed)
+
+    # -- declared bulk runs --------------------------------------------------------
+
+    def batch(self) -> BatchScript:
+        """Start a declared bulk run (see :mod:`repro.sim.batch`)."""
+        return BatchScript()
+
+    def run_batch(self, script: BatchScript) -> Generator:
+        """Execute a batch script; returns the list of read results.
+
+        On the reference backend this decomposes into the exact scalar
+        ops the program would have made; the batched backend overrides
+        it with a single-step executor that is bit-identical.
+        """
+        return (yield from run_batch_reference(self, script))
 
     # -- atomic operations ---------------------------------------------------------
 
@@ -303,7 +331,7 @@ class SmContext:
         if not self.tlb.access(block):
             self.stats.count("tlb_misses")
             self.stats.charge(SmCat.TLB_MISS, common.tlb_miss_cycles)
-            yield Delay(common.tlb_miss_cycles)
+            yield delay_of(common.tlb_miss_cycles)
         state = self.cache.lookup(block)
         if region.segment is not Segment.SHARED:
             raise ValueError("atomic operations are for shared memory")
@@ -335,16 +363,20 @@ class SmContext:
 
     # -- protocol extensions (paper Section 5.3.4) ---------------------------------
 
-    def flush(self, region: Region, lo: int = 0, hi: Optional[int] = None) -> Generator:
-        """Proactively drop clean copies of elements [lo, hi).
+    def flush(
+        self, region: Region, start: int = 0, stop: Optional[int] = None, **kwargs
+    ) -> Generator:
+        """Proactively drop clean copies of elements [start, stop).
 
         The paper's suggested consumer optimization: flushing a copy of
         a remote value turns the producer's next 2-message invalidation
         into a single-message cache replacement. Dirty lines write back.
         """
-        if hi is None:
-            hi = region.np.size
-        addr_range = region.range_of(lo, hi)
+        if kwargs:
+            reject_unknown_kwargs("flush", kwargs, ("start", "stop"))
+        if stop is None:
+            stop = region.np.size
+        addr_range = region.range_of(start, stop)
         yield from self._flush_blocks(
             region, addr_range.blocks(self.params.common.block_bytes)
         )
@@ -382,7 +414,7 @@ class SmContext:
                 )
         if stall:
             self.stats.charge(SmCat.COMPUTE, stall)
-            yield Delay(stall)
+            yield delay_of(stall)
 
     def push_update(
         self,
@@ -408,7 +440,7 @@ class SmContext:
                 continue
             cost = 20 + 5 * len(blocks)  # message setup + per-block stores
             self.stats.charge(SmCat.COMPUTE, cost)
-            yield Delay(cost)
+            yield delay_of(cost)
             self.stats.count("update_pushes")
             self.stats.count("data_bytes", 32 * len(blocks))
             self.stats.count("control_bytes", sm.block_message_control_bytes)
@@ -457,7 +489,7 @@ class SmContext:
             self.stats.count("prefetches")
         if issued:
             self.stats.charge(SmCat.COMPUTE, issued)
-            yield Delay(issued)
+            yield delay_of(issued)
 
     def _prefetch_arrival(self, block: int, remote: bool):
         def install(_info) -> None:
@@ -500,7 +532,7 @@ class SmContext:
             value = values[0].item()
             if predicate(value):
                 return value
-            wake = SimEvent(name=f"p{self.pid}.spin")
+            wake = SimEvent(name=self._spin_name)
             self.machine.inval_gate(self.pid, block).park(
                 lambda: wake.fired or wake.fire(None)
             )

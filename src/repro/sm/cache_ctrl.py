@@ -18,7 +18,7 @@ from typing import Deque, Generator, Tuple
 from repro.arch.cache import LineState
 from repro.check.errors import CheckError
 from repro.sim.events import Gate, SimEvent
-from repro.sim.process import Delay, Process, Wait
+from repro.sim.process import Process, Wait, delay_of
 from repro.sm.protocol import Msg, MsgType
 
 
@@ -37,13 +37,14 @@ class CacheCtrl:
         self.fetches_serviced = 0
 
     def post(self, msg: Msg) -> None:
-        self._inbox.append((self.engine.now, msg))
+        self._inbox.append((self.engine._now, msg))
         self._gate.pulse()
 
     def _run(self) -> Generator:
+        wake_name = f"cc{self.node_id}.wake"
         while True:
             if not self._inbox:
-                wake = SimEvent(name=f"cc{self.node_id}.wake")
+                wake = SimEvent(name=wake_name)
                 self._gate.park(lambda: wake.fired or wake.fire(None))
                 yield Wait(wake)
                 continue
@@ -74,7 +75,7 @@ class CacheCtrl:
     def _handle_inv(self, msg: Msg) -> Generator:
         cache = self.machine.nodes[self.node_id].cache
         prior = cache.invalidate(msg.block)
-        yield Delay(self.sm.invalidate_cycles + self._replacement_cost(prior))
+        yield delay_of(self.sm.invalidate_cycles + self._replacement_cost(prior))
         self.invalidations_serviced += 1
         self.machine.nodes[self.node_id].stats.count("invalidations_received")
         self.machine.pulse_inval_gate(self.node_id, msg.block)
@@ -101,7 +102,7 @@ class CacheCtrl:
             prior = cache.peek(msg.block)
             if prior is LineState.EXCLUSIVE:
                 cache.set_state(msg.block, LineState.SHARED)
-        yield Delay(self.sm.invalidate_cycles + self._replacement_cost(prior))
+        yield delay_of(self.sm.invalidate_cycles + self._replacement_cost(prior))
         self.fetches_serviced += 1
         self.machine.send_to_directory(
             self.node_id,
@@ -123,7 +124,7 @@ class CacheCtrl:
         """
         cache = self.machine.nodes[self.node_id].cache
         blocks = msg.info
-        yield Delay(self.sm.invalidate_cycles * len(blocks))
+        yield delay_of(self.sm.invalidate_cycles * len(blocks))
         for block in blocks:
             if cache.peek(block) is LineState.INVALID:
                 victim = cache.insert(block, LineState.SHARED)

@@ -21,7 +21,7 @@ from typing import Deque, Dict, Generator, Tuple
 
 from repro.check.errors import CheckError
 from repro.sim.events import Gate, SimEvent
-from repro.sim.process import Delay, Process, Wait
+from repro.sim.process import Process, Wait, delay_of
 from repro.sm.protocol import DirEntry, DirState, Msg, MsgType, TransactionInfo
 
 
@@ -46,7 +46,7 @@ class Directory:
 
     def post(self, msg: Msg) -> None:
         """Deliver a message into the directory's FIFO inbox."""
-        self._inbox.append((self.engine.now, msg))
+        self._inbox.append((self.engine._now, msg))
         self._gate.pulse()
 
     def downgrade_for_eviction(self, block: int, owner: int) -> None:
@@ -70,15 +70,19 @@ class Directory:
     # -- serving loop --------------------------------------------------------------
 
     def _run(self) -> Generator:
+        wake_name = f"dir{self.node_id}.wake"
+        engine = self.engine
+        inbox = self._inbox
+        popleft = inbox.popleft
         while True:
-            if not self._inbox:
-                wake = SimEvent(name=f"dir{self.node_id}.wake")
+            if not inbox:
+                wake = SimEvent(name=wake_name)
                 self._gate.park(lambda: wake.fired or wake.fire(None))
                 yield Wait(wake)
                 continue
-            arrival, msg = self._inbox.popleft()
+            arrival, msg = popleft()
             self.requests_served += 1
-            self.total_queue_cycles += self.engine.now - arrival
+            self.total_queue_cycles += engine._now - arrival
             yield from self._handle(msg)
 
     def _handle(self, msg: Msg) -> Generator:
@@ -86,7 +90,7 @@ class Directory:
         if msg.type in (MsgType.GETS, MsgType.GETX, MsgType.UPGRADE):
             if entry.busy:
                 entry.pending.append(msg)
-                yield Delay(1)  # queue-and-defer bookkeeping
+                yield delay_of(1)  # queue-and-defer bookkeeping
                 return
             yield from self._handle_request(entry, msg)
         elif msg.type is MsgType.ACK:
@@ -94,7 +98,7 @@ class Directory:
         elif msg.type is MsgType.FETCH_REPLY:
             yield from self._handle_fetch_reply(entry, msg)
         elif msg.type is MsgType.WRITEBACK:
-            yield Delay(
+            yield delay_of(
                 self.sm.directory_base_cycles
                 + self.sm.directory_recv_block_cycles
                 + self.common.dram_cycles
@@ -102,7 +106,7 @@ class Directory:
         elif msg.type is MsgType.FLUSH:
             # Section 5.3.4 extension: a consumer proactively dropped its
             # clean copy, so the next write needs no invalidation round.
-            yield Delay(self.sm.directory_ack_cycles)
+            yield delay_of(self.sm.directory_ack_cycles)
             entry.sharers.discard(msg.src)
             if entry.state is DirState.SHARED and not entry.sharers:
                 entry.state = DirState.UNOWNED
@@ -128,7 +132,7 @@ class Directory:
             entry.busy = True
             entry.waiting = msg
             entry.txn_info = TransactionInfo(with_data=True, fetched=True)
-            yield Delay(
+            yield delay_of(
                 self.sm.directory_base_cycles + self.sm.directory_send_msg_cycles
             )
             invalidate_owner = msg.type is not MsgType.GETS
@@ -146,7 +150,7 @@ class Directory:
             return
 
         if msg.type is MsgType.GETS:
-            yield Delay(
+            yield delay_of(
                 self.sm.directory_base_cycles
                 + self.common.dram_cycles
                 + self.sm.directory_send_msg_cycles
@@ -169,7 +173,7 @@ class Directory:
                 or requester not in entry.sharers,
                 invalidations=len(targets),
             )
-            yield Delay(
+            yield delay_of(
                 self.sm.directory_base_cycles
                 + self.sm.directory_send_msg_cycles * len(targets)
             )
@@ -188,14 +192,14 @@ class Directory:
         occupancy = self.sm.directory_base_cycles + self.sm.directory_send_msg_cycles
         if with_data:
             occupancy += self.common.dram_cycles + self.sm.directory_send_block_cycles
-        yield Delay(occupancy)
+        yield delay_of(occupancy)
         entry.state = DirState.EXCLUSIVE
         entry.owner = requester
         entry.sharers.clear()
         self._complete(msg, TransactionInfo(with_data=with_data))
 
     def _handle_ack(self, entry: DirEntry, msg: Msg) -> Generator:
-        yield Delay(self.sm.directory_ack_cycles)
+        yield delay_of(self.sm.directory_ack_cycles)
         if not entry.busy or entry.acks_needed <= 0:
             raise CheckError(
                 "protocol",
@@ -213,14 +217,14 @@ class Directory:
         occupancy = self.sm.directory_send_msg_cycles
         if info.with_data:
             occupancy += self.common.dram_cycles + self.sm.directory_send_block_cycles
-        yield Delay(occupancy)
+        yield delay_of(occupancy)
         entry.state = DirState.EXCLUSIVE
         entry.owner = request.requester
         entry.sharers.clear()
         self._finish_transaction(entry, request, info)
 
     def _handle_fetch_reply(self, entry: DirEntry, msg: Msg) -> Generator:
-        yield Delay(
+        yield delay_of(
             self.sm.directory_base_cycles
             + self.sm.directory_recv_block_cycles
             + self.common.dram_cycles
@@ -259,4 +263,4 @@ class Directory:
         """Deliver the reply (data or grant) to the requester."""
         latency = self.machine.latency(self.node_id, msg.requester)
         done = msg.done
-        self.engine.schedule(latency, lambda: done.fire(info))
+        self.engine._schedule_step(latency, lambda: done.fire(info))

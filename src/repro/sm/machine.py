@@ -23,6 +23,7 @@ from repro.sim.events import Gate, SimEvent
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sm.api import SmContext
+from repro.sm.batched import BatchedSmContext
 from repro.sm.cache_ctrl import CacheCtrl
 from repro.sm.directory import Directory
 from repro.sm.mcs import McsLock, McsReduction
@@ -94,7 +95,13 @@ class SmMachine:
         seed: int = 1994,
         costs: Optional[CostModel] = None,
         allocation_policy: HomePolicy = HomePolicy.ROUND_ROBIN,
+        backend: str = "batched",
     ) -> None:
+        if backend not in ("reference", "batched"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'reference' or 'batched'"
+            )
+        self.backend = backend
         self.params = params or MachineParams.paper()
         self.costs = costs or CostModel()
         self.engine = Engine()
@@ -109,7 +116,8 @@ class SmMachine:
         self.nodes = [SmNode(self, pid) for pid in range(self.nprocs)]
         self.directories = [Directory(self, pid) for pid in range(self.nprocs)]
         self.cache_ctrls = [CacheCtrl(self, pid) for pid in range(self.nprocs)]
-        self.contexts = [SmContext(self, pid) for pid in range(self.nprocs)]
+        context_cls = BatchedSmContext if backend == "batched" else SmContext
+        self.contexts = [context_cls(self, pid) for pid in range(self.nprocs)]
         self.block_home: Dict[int, int] = {}
         # Blocks with a prefetch outstanding (Section 5.3.4 extension).
         self.prefetches_in_flight: set = set()
@@ -154,9 +162,11 @@ class SmMachine:
 
     def send_to_directory_from(self, src: int, home: int, msg: Msg) -> None:
         """Requester -> home directory, after the network latency."""
-        self.engine.schedule(
-            self.latency(src, home), lambda: self.directories[home].post(msg)
-        )
+        # Bare continuation: in-flight messages are never cancelled, so
+        # the handle-free scheduling path keeps the same (time, seq)
+        # ordering without allocating a ScheduledAction.
+        directory = self.directories[home]
+        self.engine._schedule_step(self.latency(src, home), lambda: directory.post(msg))
 
     def send_to_directory(self, src: int, block: int, msg: Msg) -> None:
         """Cache controller -> the block's home directory (ACK/FETCH_REPLY)."""
@@ -165,9 +175,8 @@ class SmMachine:
 
     def send_to_cache_ctrl(self, src: int, dest: int, msg: Msg) -> None:
         """Directory -> a remote cache controller (INV/FETCH)."""
-        self.engine.schedule(
-            self.latency(src, dest), lambda: self.cache_ctrls[dest].post(msg)
-        )
+        ctrl = self.cache_ctrls[dest]
+        self.engine._schedule_step(self.latency(src, dest), lambda: ctrl.post(msg))
 
     def evict_dirty_shared(self, pid: int, block: int) -> None:
         """Dirty shared eviction: writeback traffic + logical downgrade."""

@@ -19,6 +19,10 @@ import enum
 class MpCat(enum.Enum):
     """Cycle categories for message-passing programs."""
 
+    # Members are singletons, so identity hashing is equivalent — and the
+    # C-level slot avoids Python-level Enum.__hash__ on every stats charge.
+    __hash__ = object.__hash__
+
     COMPUTE = "Computation"
     LOCAL_MISS = "Local Misses"
     LIB_COMPUTE = "Lib Comp"
@@ -33,6 +37,8 @@ MP_COMMUNICATION_CATS = (MpCat.LIB_COMPUTE, MpCat.LIB_MISS, MpCat.NETWORK_ACCESS
 
 class SmCat(enum.Enum):
     """Cycle categories for shared-memory programs."""
+
+    __hash__ = object.__hash__  # singletons; see MpCat
 
     COMPUTE = "Computation"
     PRIVATE_MISS = "Private Misses"

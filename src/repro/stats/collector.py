@@ -41,6 +41,11 @@ class ProcStats:
         self._remaps: Dict[str, Mapping[object, object]] = dict(remaps or {})
         self._context_stack: List[str] = []
         self._phase_stack: List[str] = []
+        # Inner accumulator dicts of the active phases, cached so the
+        # per-charge loop skips the outer phase_cycles/phase_counts
+        # lookups. Maintained by push_phase/pop_phase.
+        self._phase_cycle_maps: List[Dict[object, int]] = []
+        self._phase_count_maps: List[Dict[str, int]] = []
 
     # -- contexts ---------------------------------------------------------
 
@@ -82,6 +87,8 @@ class ProcStats:
 
     def push_phase(self, name: str) -> None:
         self._phase_stack.append(name)
+        self._phase_cycle_maps.append(self.phase_cycles[name])
+        self._phase_count_maps.append(self.phase_counts[name])
 
     def pop_phase(self, expected: Optional[str] = None) -> None:
         """Leave the innermost phase; ``expected`` catches mismatched nesting."""
@@ -97,6 +104,8 @@ class ProcStats:
                 f"but innermost phase is {top!r}"
             )
         self._phase_stack.pop()
+        self._phase_cycle_maps.pop()
+        self._phase_count_maps.pop()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -125,10 +134,10 @@ class ProcStats:
             raise ValueError(f"negative charge: {cycles}")
         if cycles == 0:
             return
-        resolved = self._resolve(category)
+        resolved = self._resolve(category) if self._context_stack else category
         self.cycles[resolved] += cycles
-        for phase in self._phase_stack:
-            self.phase_cycles[phase][resolved] += cycles
+        for phase_map in self._phase_cycle_maps:
+            phase_map[resolved] += cycles
 
     def charge_raw(self, category: object, cycles: int) -> None:
         """Add cycles under ``category`` exactly, bypassing context remaps."""
@@ -137,14 +146,14 @@ class ProcStats:
         if cycles == 0:
             return
         self.cycles[category] += cycles
-        for phase in self._phase_stack:
-            self.phase_cycles[phase][category] += cycles
+        for phase_map in self._phase_cycle_maps:
+            phase_map[category] += cycles
 
     def count(self, key: str, amount: int = 1) -> None:
         """Bump a named event counter."""
         self.counts[key] += amount
-        for phase in self._phase_stack:
-            self.phase_counts[phase][key] += amount
+        for phase_map in self._phase_count_maps:
+            phase_map[key] += amount
 
     # -- summaries --------------------------------------------------------
 

@@ -115,3 +115,24 @@ def test_flush_empties_cache():
     cache.insert(0, LineState.SHARED)
     cache.flush()
     assert cache.resident_blocks() == 0
+
+
+def test_version_counts_state_changes_only():
+    """Probe-verdict memos rely on: hits never move the version."""
+    cache = make_cache()
+    v = cache.version
+    cache.insert(0, LineState.SHARED)
+    assert cache.version > v
+    v = cache.version
+    cache.lookup(0)  # hit: no state change
+    assert cache.version == v
+    cache.set_state(0, LineState.EXCLUSIVE)
+    assert cache.version > v
+    v = cache.version
+    cache.invalidate(0)
+    assert cache.version > v
+    v = cache.version
+    cache.invalidate(0)  # already invalid: nothing changed
+    assert cache.version == v
+    cache.flush()
+    assert cache.version > v

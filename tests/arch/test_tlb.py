@@ -43,3 +43,16 @@ def test_flush():
 def test_zero_entries_rejected():
     with pytest.raises(ValueError):
         Tlb(entries=0, page_bytes=4096)
+
+
+def test_version_counts_installs_not_hits():
+    """Probe-verdict memos rely on: FIFO hits never move the version."""
+    tlb = Tlb(4, 4096)
+    v = tlb.version
+    assert tlb.access(0) is False  # miss installs the page
+    assert tlb.version > v
+    v = tlb.version
+    assert tlb.access(0) is True  # hit
+    assert tlb.version == v
+    tlb.flush()
+    assert tlb.version > v

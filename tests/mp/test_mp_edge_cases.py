@@ -25,14 +25,24 @@ def test_empty_read_range(machine2):
     assert result.board.mean_count("local_misses") == 0
 
 
-def test_write_with_hi_only_touches_without_values(machine2):
+def test_write_with_stop_only_touches_without_values(machine2):
     def program(ctx):
         region = ctx.alloc("r", 8, fill=5.0)
-        yield from ctx.write(region, 0, hi=8)
+        yield from ctx.write(region, 0, 8)
         assert (region.np == 5.0).all()  # touch-only write keeps data
 
     result = machine2.run(program)
     assert result.board.mean_count("local_misses") > 0
+
+
+def test_legacy_keyword_rejected_with_hint(machine2):
+    def program(ctx):
+        region = ctx.alloc("r", 8)
+        yield from ctx.write(region, 0, hi=8)
+
+    with pytest.raises(Exception) as excinfo:
+        machine2.run(program)
+    assert "did you mean 'stop'" in str(excinfo.value)
 
 
 def test_write_without_values_or_hi_rejected(machine2):

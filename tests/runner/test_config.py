@@ -122,3 +122,24 @@ def test_to_jsonable_includes_machine_params():
 def test_registry_configs_match_ids():
     for exp_id, spec in EXPERIMENTS.items():
         assert spec.config.exp_id == exp_id
+
+
+def test_backend_field_validated_with_suggestion():
+    with pytest.raises(ValueError, match="did you mean 'batched'"):
+        ExperimentConfig(exp_id="x", backend="bathced")
+    with pytest.raises(ValueError, match="unknown backend 'fast'"):
+        ExperimentConfig(exp_id="x", backend="fast")
+
+
+def test_backend_override_changes_cache_identity():
+    from repro.runner.cache import cache_key
+
+    base = EXPERIMENTS["mse"].config
+    assert base.backend == "batched"
+    reference = base.with_overrides({"backend": "reference"})
+    assert reference.backend == "reference"
+    # The two backends are bit-identical in simulated facts, but records
+    # must still say which backend produced them.
+    assert cache_key(base) != cache_key(reference)
+    assert base.to_jsonable()["backend"] == "batched"
+    assert reference.to_jsonable()["backend"] == "reference"

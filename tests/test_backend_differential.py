@@ -1,0 +1,112 @@
+"""Differential backend suite: batched vs reference, bit for bit.
+
+The batched execution backend promises to change *nothing* about a
+simulation except its wall-clock speed. These tests hold it to that
+promise the strongest way available: run every experiment under both
+backends and require the resulting :class:`RunRecord`\\ s to be equal in
+every simulated fact — cycle totals, event counts, per-category
+breakdowns, check outcomes, rendered tables. Only provenance may differ
+(the cache key includes the backend; elapsed wall time obviously
+varies).
+
+The fastest experiments run in tier-1; the rest are ``slow``. The
+litmus and stress suites additionally re-run under both backends: the
+memory-consistency invariants must hold identically, with identical
+outcome histograms.
+"""
+
+import pytest
+
+from repro import api
+
+#: exp_id -> overrides shrinking the run to differential-test size.
+#: Every experiment keeps its default shape (strategies, proc counts,
+#: protocol variants); only the workload is scaled down.
+SMALL = {
+    "mse": {"procs": 4, "app": {"bodies": 16, "elements_per_body": 4,
+                                "iterations": 3}},
+    "gauss": {"procs": 4, "app": {"n": 64}},
+    "gauss_collectives": {"procs": 8, "app": {"n": 48}},
+    "gauss_contention": {"app": {"n": 48}},
+    "em3d": {"procs": 4, "app": {"nodes_per_proc": 40, "degree": 4,
+                                 "iterations": 3}},
+    "em3d_bigcache": {"procs": 4, "app": {"nodes_per_proc": 40, "degree": 4,
+                                          "iterations": 3}},
+    "em3d_localalloc": {"procs": 4, "app": {"nodes_per_proc": 40, "degree": 4,
+                                            "iterations": 3}},
+    "em3d_protocols": {"procs": 4, "app": {"nodes_per_proc": 40, "degree": 4,
+                                           "iterations": 3}},
+    "lcp": {"procs": 4, "app": {"n": 96}},
+    "alcp": {"procs": 4, "app": {"n": 96}},
+    "validation": {},
+}
+
+#: Record fields allowed to differ between backends: provenance, not
+#: simulated facts.
+PROVENANCE = ("cache_key", "config", "elapsed_seconds", "cached")
+
+TIER1 = ("mse", "validation")
+HEAVY = tuple(exp for exp in SMALL if exp not in TIER1)
+
+
+def _record_pair(exp_id):
+    """Fresh records for both backends, disk cache bypassed."""
+    records = {}
+    for backend in ("batched", "reference"):
+        api.clear_memory_cache()
+        overrides = dict(SMALL[exp_id], backend=backend)
+        records[backend] = api.record_for(exp_id, overrides, use_cache=False)
+    return records["batched"], records["reference"]
+
+
+def _assert_identical(batched, reference):
+    a = batched.to_jsonable()
+    b = reference.to_jsonable()
+    assert a["config"]["backend"] == "batched"
+    assert b["config"]["backend"] == "reference"
+    # Different backends must never share a cache key.
+    assert a["cache_key"] != b["cache_key"]
+    for key in PROVENANCE:
+        a.pop(key, None)
+        b.pop(key, None)
+    assert a == b
+
+
+@pytest.mark.parametrize("exp_id", TIER1)
+def test_backends_bit_identical(exp_id):
+    _assert_identical(*_record_pair(exp_id))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", HEAVY)
+def test_backends_bit_identical_slow(exp_id):
+    _assert_identical(*_record_pair(exp_id))
+
+
+# -- invariant suites under the batched backend ------------------------------
+
+
+def test_litmus_identical_histograms_across_backends():
+    from repro.check.litmus import LITMUS_TESTS, run_suite
+
+    seeds = tuple(range(6))
+    batched = run_suite(LITMUS_TESTS, seeds=seeds, backend="batched")
+    reference = run_suite(LITMUS_TESTS, seeds=seeds, backend="reference")
+    assert batched == reference
+    assert set(batched) == {t.name for t in LITMUS_TESTS}
+
+
+def test_sm_stress_clean_and_identical_across_backends():
+    from repro.check.stress import run_sm_stress
+
+    batched = run_sm_stress(ops=300, seed=7, backend="batched")
+    reference = run_sm_stress(ops=300, seed=7, backend="reference")
+    assert batched == reference
+
+
+def test_mp_stress_clean_and_identical_across_backends():
+    from repro.check.stress import run_mp_stress
+
+    batched = run_mp_stress(ops=150, seed=7, backend="batched")
+    reference = run_mp_stress(ops=150, seed=7, backend="reference")
+    assert batched == reference

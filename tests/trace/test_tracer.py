@@ -151,3 +151,16 @@ def test_engine_pending_counter_sampled():
     assert pending
     for _mi, _ts, _name, _series, value in pending:
         assert value >= 0
+
+
+def test_api_trace_for_returns_validated_document():
+    from repro import api
+
+    traced = api.trace_for("validation")
+    assert traced.exp_id == "validation"
+    assert traced.errors == []
+    assert traced.document["traceEvents"]
+    assert traced.config.exp_id == "validation"
+    assert traced.elapsed_seconds > 0
+    kinds = {m["kind"] for m in traced.document["otherData"]["machines"]}
+    assert {"mp", "sm"} <= kinds
