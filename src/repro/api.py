@@ -19,6 +19,10 @@ need lives here, re-exported from the subsystems that implement it:
   the JSON-ready result document.
 * :func:`trace_for` — one traced simulation; returns a
   :class:`TraceResult` holding the validated Chrome Trace document.
+* :func:`serve` — the harness as a long-running HTTP service
+  (:class:`~repro.serve.server.ReproServer`): submit runs/sweeps over
+  ``POST``, poll content-hash job IDs, warm requests answered from the
+  result cache in milliseconds.
 
 Import from ``repro.api`` rather than the implementing modules:
 the facade is the surface the project promises to keep stable across
@@ -62,6 +66,7 @@ __all__ = [
     "record_for",
     "resolve_config",
     "run_raw",
+    "serve",
     "sweep",
     "trace_for",
 ]
@@ -101,6 +106,41 @@ def bench(
     return bench_impl.run_benchmarks(
         quick=quick, apps=apps, backend=backend, **kwargs
     )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8737,
+    jobs: int = 2,
+    cache_bytes: Optional[int] = None,
+    block: bool = True,
+    **kwargs: Any,
+):
+    """Stand up the harness HTTP service; see ``docs/serve.md``.
+
+    ``jobs`` sizes the simulation worker pool; ``cache_bytes`` bounds
+    the on-disk result cache (stale-salt-first LRU eviction, ``None``
+    = unbounded). With ``block=True`` (the CLI path) this serves on
+    the calling thread until interrupted; with ``block=False`` it
+    returns the started :class:`~repro.serve.server.ReproServer`
+    (``port=0`` picks an ephemeral port — read ``server.url``).
+    Remaining keyword arguments pass through to the server constructor
+    (``cache``, ``run_executor``, ``quiet``, ...).
+    """
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        host=host,
+        port=port,
+        jobs=jobs,
+        cache_budget_bytes=cache_bytes,
+        **kwargs,
+    )
+    if block:
+        server.serve_forever()
+    else:
+        server.start()
+    return server
 
 
 @dataclass

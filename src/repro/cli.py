@@ -29,9 +29,15 @@ Commands:
   execution, ASCII curve plots, crossover detection, and the spec's
   machine-checked shape assertions;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
-  inspect or drop the on-disk result cache;
+  inspect (per-record byte sizes, totals, salt freshness) or drop the
+  on-disk result cache;
 * ``python -m repro fidelity [--json PATH]`` — the paper-vs-run
-  scorecard.
+  scorecard;
+* ``python -m repro serve [--host --port --jobs --cache-bytes]`` — the
+  harness as a long-running HTTP service: ``POST /v1/runs`` and
+  ``POST /v1/sweeps`` submissions, content-hash job IDs, request
+  coalescing, millisecond warm-cache responses, byte-budget cache
+  eviction, and ``GET /healthz`` (see docs/serve.md).
 
 The shared flags (``--jobs/--json/--force/--no-cache``) are defined
 once (:func:`flags_parent`) and hoisted into each subcommand, so they
@@ -120,6 +126,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"repro run: error: {exc.args[0]}", file=sys.stderr)
         return 2
+    # --backend flows through the standard override channel, so cached
+    # records stay keyed (and honest) per backend.
+    overrides = (
+        {exp_id: {"backend": args.backend} for exp_id in exp_ids}
+        if args.backend
+        else None
+    )
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if args.check:
         # The checker instruments machine instances, so checked runs must
@@ -153,6 +166,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 use_cache=False,
                 force=True,
                 progress=progress,
+                overrides=overrides,
             )
         totals = checker.report()
         print(
@@ -167,6 +181,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             force=args.force,
             progress=progress,
+            overrides=overrides,
         )
 
     failed: List[str] = []
@@ -486,7 +501,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         if not lines:
             print(f"cache empty ({cache.directory})")
         else:
-            print(f"cache {cache.directory}: {len(lines)} records")
+            stats = cache.stats()
+            stale = (
+                f", {stats['stale_records']} stale-salt"
+                if stats["stale_records"]
+                else ""
+            )
+            print(
+                f"cache {cache.directory}: {stats['records']} records, "
+                f"{stats['bytes']} bytes total{stale}"
+            )
             for line in lines:
                 print(f"  {line}")
         return 0
@@ -496,6 +520,34 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print("unknown cache command", file=sys.stderr)
     return 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.serve import parse_bytes
+
+    try:
+        cache_bytes = parse_bytes(args.cache_bytes)
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else 2
+    try:
+        api.serve(
+            host=args.host,
+            port=args.port,
+            jobs=jobs,
+            cache_bytes=cache_bytes,
+        )
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(
+            f"repro serve: error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -521,6 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--check", action="store_true",
                             help="simulate with the invariant checker "
                                  "installed (forces --jobs 1, no cache)")
+    run_parser.add_argument("--backend", choices=("batched", "reference"),
+                            default=None,
+                            help="execution backend override for every "
+                                 "requested experiment (default: each "
+                                 "config's own, normally batched)")
     run_parser.set_defaults(handler=cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -616,6 +673,29 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("cache_command", choices=["ls", "clear"],
                               help="ls: list records; clear: delete them")
     cache_parser.set_defaults(handler=cmd_cache)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-running HTTP service over the harness: POST runs and "
+             "sweeps, poll content-hash job IDs, warm requests served "
+             "from the result cache in milliseconds",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8737,
+                              help="bind port (default: 8737; 0 picks an "
+                                   "ephemeral port)")
+    serve_parser.add_argument("--jobs", "-j", type=int, default=None,
+                              metavar="N",
+                              help="simulation worker threads, each "
+                                   "driving one spawned worker process "
+                                   "(default: 2)")
+    serve_parser.add_argument("--cache-bytes", metavar="BYTES", default=None,
+                              help="byte budget for .repro_cache/ — LRU "
+                                   "eviction, stale-salt records first; "
+                                   "accepts suffixes (64M, 1G); default: "
+                                   "unbounded")
+    serve_parser.set_defaults(handler=cmd_serve)
 
     fidelity_parser = subparsers.add_parser(
         "fidelity",

@@ -13,6 +13,9 @@ The key is a SHA-256 digest of
 
 A cache hit returns the stored :class:`~repro.runner.record.RunRecord`
 with ``cached=True``; nothing is ever re-simulated to serve a hit.
+Hits also bump the record file's mtime, so mtime order is true LRU
+order and the byte-budget eviction policy (:mod:`repro.serve.eviction`)
+keeps hot records alive while old and stale-salt ones go first.
 """
 
 from __future__ import annotations
@@ -20,8 +23,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.runner.config import ExperimentConfig
 from repro.runner.record import RECORD_SCHEMA, RunRecord
@@ -37,16 +42,45 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 def cache_key(config: ExperimentConfig) -> str:
     """The content address of one experiment configuration."""
+    return key_for_jsonable(config.to_jsonable())
+
+
+def key_for_jsonable(config_jsonable: Dict[str, Any]) -> str:
+    """The content address of an already-canonicalized configuration.
+
+    Stored records carry their canonical config dict; recomputing the
+    key from it under the *current* salt/version detects staleness
+    without reconstructing the live config object.
+    """
     from repro import __version__
 
     payload = {
         "salt": CODE_SALT,
         "version": __version__,
         "schema": RECORD_SCHEMA,
-        "config": config.to_jsonable(),
+        "config": config_jsonable,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Size/age/staleness facts about one on-disk record file.
+
+    ``stale`` means the stored key no longer matches a key recomputed
+    from the stored config under the current :data:`CODE_SALT`, package
+    version, and record schema — the record can never again satisfy a
+    lookup, so eviction removes it first. Unreadable files count as
+    stale too.
+    """
+
+    path: Path
+    exp_id: str
+    cache_key: str
+    bytes: int
+    mtime: float
+    stale: bool
 
 
 class ResultCache:
@@ -74,6 +108,12 @@ class ResultCache:
             return None
         if data.get("cache_key") != key or data.get("schema") != RECORD_SCHEMA:
             return None
+        try:
+            # A hit is a "use" in LRU terms: bump the mtime so the
+            # eviction policy sees hot records as young.
+            os.utime(path, None)
+        except OSError:
+            pass
         record = RunRecord.from_jsonable(data)
         record.cached = True
         return record
@@ -100,16 +140,76 @@ class ResultCache:
             except (OSError, json.JSONDecodeError, TypeError):
                 continue
 
+    def index(self) -> List[CacheEntry]:
+        """Size/age/staleness facts for every record file, oldest first.
+
+        Unlike :meth:`entries` this never skips a file: corrupt or
+        unreadable records appear with ``stale=True`` so the eviction
+        policy can reclaim their bytes.
+        """
+        if not self.directory.is_dir():
+            return []
+        out: List[CacheEntry] = []
+        for path in sorted(
+            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+        ):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            exp_id, key, stale = "?", "", True
+            try:
+                data = json.loads(path.read_text())
+                exp_id = str(data.get("exp_id", "?"))
+                key = str(data.get("cache_key", ""))
+                stale = (
+                    data.get("schema") != RECORD_SCHEMA
+                    or key != key_for_jsonable(data["config"])
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                stale = True
+            out.append(
+                CacheEntry(
+                    path=path,
+                    exp_id=exp_id,
+                    cache_key=key,
+                    bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    stale=stale,
+                )
+            )
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by record files (sweeps/traces excluded)."""
+        return sum(entry.bytes for entry in self.index())
+
+    def stats(self) -> Dict[str, Any]:
+        """Size accounting for ``/healthz`` and ``repro cache ls``."""
+        entries = self.index()
+        ages = [time.time() - entry.mtime for entry in entries]
+        return {
+            "directory": str(self.directory),
+            "records": len(entries),
+            "bytes": sum(entry.bytes for entry in entries),
+            "stale_records": sum(1 for entry in entries if entry.stale),
+            "oldest_age_seconds": round(max(ages), 1) if ages else 0.0,
+        }
+
     def ls(self) -> List[str]:
         """Human-readable listing lines for ``repro cache ls``."""
+        stale_keys = {
+            entry.cache_key for entry in self.index() if entry.stale
+        }
         lines = []
         for path, record in self.entries():
-            size_kb = path.stat().st_size / 1024.0
+            size = path.stat().st_size
             status = "ok" if record.all_ok else "FAIL"
+            salt = "stale" if record.cache_key in stale_keys else "fresh"
             lines.append(
                 f"{record.exp_id:<18} {record.cache_key[:12]}  "
-                f"{record.elapsed_seconds:7.1f}s  {size_kb:6.1f}KB  "
-                f"checks:{status}  {path.name}"
+                f"{record.elapsed_seconds:7.1f}s  {size:8d}B  "
+                f"checks:{status}  salt:{salt}  {path.name}"
             )
         return lines
 

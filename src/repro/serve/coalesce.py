@@ -1,0 +1,82 @@
+"""Request coalescing: identical submissions share one job.
+
+Job IDs are content hashes (the run's cache key, or the sweep's grid
+key), so "the same request" is a pure function of the request body —
+two clients asking for the same uncached configuration race to create
+the same job ID, and the registry guarantees exactly one of them wins.
+The loser's submission attaches to the winner's job: one simulation,
+two (or N) satisfied clients.
+
+The registry is also the job store the poll endpoint reads, so a
+finished job keeps answering ``GET /v1/jobs/<id>`` until the server
+restarts. A ``force=True`` resubmission of a *finished* job replaces
+it with a fresh pending one (same ID — the content address did not
+change); an in-flight job is never replaced, because sharing the
+running simulation is strictly better than starting a second one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.jobqueue import Job
+
+#: States a force-resubmission may replace (terminal states only).
+_REPLACEABLE = ("done", "failed")
+
+
+class CoalescingRegistry:
+    """Thread-safe job store keyed by content-hash job ID."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, "Job"] = {}
+        self._coalesced = 0
+
+    def add_or_share(
+        self, job: "Job", replace_terminal: bool = False
+    ) -> Tuple["Job", bool]:
+        """Register ``job``, or return the existing job with its ID.
+
+        Returns ``(job, created)``: ``created`` is ``False`` when an
+        earlier submission already owns the ID, in which case the
+        caller must *not* enqueue any work — the existing job's
+        execution (or finished result) serves this submission too.
+
+        ``replace_terminal`` lets a new job displace a finished/failed
+        one under the same ID (a warm cache answer superseding an old
+        envelope, or a ``force`` re-simulation); an in-flight job is
+        never displaced — sharing the running simulation is the point.
+        """
+        with self._lock:
+            existing = self._jobs.get(job.job_id)
+            if existing is not None:
+                if replace_terminal and existing.state in _REPLACEABLE:
+                    self._jobs[job.job_id] = job
+                    return job, True
+                existing.coalesced += 1
+                self._coalesced += 1
+                return existing, False
+            self._jobs[job.job_id] = job
+            return job, True
+
+    def get(self, job_id: str) -> Optional["Job"]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List["Job"]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state plus the lifetime coalesced-submission count."""
+        with self._lock:
+            counts: Dict[str, int] = {
+                "pending": 0, "running": 0, "done": 0, "failed": 0,
+            }
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            counts["coalesced"] = self._coalesced
+            return counts

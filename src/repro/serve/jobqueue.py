@@ -1,0 +1,342 @@
+"""The async job queue between the HTTP surface and the simulators.
+
+Submissions become :class:`Job` objects with content-hash IDs (a run's
+ID is its config's cache key; a sweep's ID is its grid key) and flow
+through a bounded pool of worker threads. Each worker drives one job
+at a time through an *executor* — by default the run executor ships
+the simulation to a spawned worker process via the existing
+:func:`repro.runner.executor.run_parallel` machinery, so the GIL-heavy
+simulation never stalls the HTTP threads — and writes the finished
+record back to the shared content-addressed cache, then enforces the
+cache byte budget (:mod:`repro.serve.eviction`).
+
+The three paths a submission can take:
+
+* **warm** — the cache already holds the record: the job is born
+  ``done`` with ``simulated: false``, no queue, no simulation,
+  response in milliseconds;
+* **coalesced** — an identical job is pending or running: the
+  submission attaches to it (``coalesced`` counts how many riders the
+  job picked up) and no second simulation starts;
+* **cold** — the job enters the queue and a worker simulates it.
+
+Executors are injectable (``run_executor``/``sweep_executor``) so
+tests can count simulations or substitute canned results without
+touching the queue's concurrency behavior.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runner.cache import ResultCache, cache_key
+from repro.runner.record import RunRecord
+from repro.serve.coalesce import CoalescingRegistry
+from repro.serve.eviction import enforce_budget
+from repro.serve.schemas import RunRequest, SchemaError, SweepRequest
+
+#: Job lifecycle states (JSON-facing strings).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Sentinel shutting a worker thread down.
+_STOP = object()
+
+RunExecutor = Callable[[RunRequest], RunRecord]
+SweepExecutor = Callable[[SweepRequest, ResultCache], Any]
+
+
+@dataclass
+class Job:
+    """One submitted unit of work, polled via ``GET /v1/jobs/<id>``."""
+
+    job_id: str
+    kind: str  # "run" | "sweep"
+    params: Dict[str, Any]
+    state: str = PENDING
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: False when the result came straight from the cache (warm path or
+    #: an all-warm sweep); True when this job ran a simulation.
+    simulated: Optional[bool] = None
+    #: Extra submissions this job absorbed (see coalesce.py).
+    coalesced: int = 0
+    result: Optional[Dict[str, Any]] = None
+    error: str = ""
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def elapsed_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - (self.started_at or self.submitted_at)
+
+    def finish(self, result: Dict[str, Any], simulated: bool) -> None:
+        self.result = result
+        self.simulated = simulated
+        self.state = DONE
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.state = FAILED
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (tests/clients)."""
+        return self.done_event.wait(timeout)
+
+    def to_jsonable(self, include_result: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "params": self.params,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "simulated": self.simulated,
+            "coalesced": self.coalesced,
+            "error": self.error,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Default executors: simulate via the spawn-based process machinery.
+# ---------------------------------------------------------------------------
+
+
+def subprocess_run_executor(request: RunRequest) -> RunRecord:
+    """Simulate one experiment in a spawned worker process.
+
+    ``jobs=2`` forces :func:`run_parallel` onto its process-pool path
+    (one group → one spawned worker); the queue's worker thread only
+    blocks on the future, keeping the HTTP threads responsive while
+    the simulation burns CPU in another process.
+    """
+    from repro.runner.executor import plan_groups, run_parallel
+
+    item = (request.exp_id, request.overrides or None)
+    return run_parallel(plan_groups([item]), jobs=2)[0]
+
+
+def inprocess_run_executor(request: RunRequest) -> RunRecord:
+    """Simulate in this process (tests, and ``--jobs 0`` debugging)."""
+    from repro.runner.executor import run_group
+
+    return run_group([(request.exp_id, request.overrides or None)])[0]
+
+
+def default_sweep_executor(request: SweepRequest, cache: ResultCache) -> Any:
+    """Run one sweep through :func:`repro.api.sweep` (cache-aware)."""
+    from repro import api
+
+    return api.sweep(
+        request.spec,
+        axes=request.axes or None,
+        jobs=request.jobs,
+        cache=cache,
+        force=request.force,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The queue.
+# ---------------------------------------------------------------------------
+
+
+class JobQueue:
+    """Bounded worker pool with coalescing submission endpoints."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        cache_budget_bytes: Optional[int] = None,
+        run_executor: Optional[RunExecutor] = None,
+        sweep_executor: Optional[SweepExecutor] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.cache = cache if cache is not None else ResultCache()
+        self.cache_budget_bytes = cache_budget_bytes
+        self.run_executor = run_executor or subprocess_run_executor
+        self.sweep_executor = sweep_executor or default_sweep_executor
+        self.registry = CoalescingRegistry()
+        self.last_finished_at: Optional[float] = None
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._threads: list = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        self._started = False
+
+    def depth(self) -> int:
+        """Jobs waiting for a worker (running jobs excluded)."""
+        return self._queue.qsize()
+
+    # -- submission --------------------------------------------------------
+
+    def submit_run(self, request: RunRequest) -> Job:
+        """Submit one experiment run; warm/coalesced/cold (see module doc)."""
+        from repro.runner.api import resolve_config
+
+        try:
+            config = resolve_config(request.exp_id, request.overrides or None)
+        except (KeyError, ValueError, TypeError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise SchemaError(str(message)) from exc
+
+        job = Job(
+            job_id=cache_key(config),
+            kind="run",
+            params={
+                "experiment": request.exp_id,
+                "overrides": request.overrides,
+                "force": request.force,
+            },
+        )
+
+        warm = None
+        if not request.force:
+            warm = self.cache.load(config)
+        if warm is not None:
+            job.started_at = job.submitted_at
+            job.finish(warm.to_jsonable(), simulated=False)
+
+        # A warm answer or a force re-run may displace an old finished
+        # envelope under the same content hash; in-flight jobs are
+        # always shared instead (one simulation, N clients).
+        job, created = self.registry.add_or_share(
+            job, replace_terminal=request.force or warm is not None
+        )
+        if created and job.state == PENDING:
+            self._queue.put(job)
+        return job
+
+    def submit_sweep(self, request: SweepRequest) -> Job:
+        """Submit one sensitivity sweep (always queued; the engine
+        serves warm points from the cache internally)."""
+        from repro.sweep import get_sweep
+
+        try:
+            spec = get_sweep(request.spec).with_axes(request.axes or None)
+        except ValueError as exc:
+            raise SchemaError(str(exc)) from exc
+
+        job = Job(
+            job_id=spec.grid_key(),
+            kind="sweep",
+            params={
+                "spec": request.spec,
+                "axes": request.axes,
+                "jobs": request.jobs,
+                "force": request.force,
+            },
+        )
+        job, created = self.registry.add_or_share(
+            job, replace_terminal=request.force
+        )
+        if created and job.state == PENDING:
+            self._queue.put((job, request))
+        return job
+
+    # -- workers -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if isinstance(item, tuple):
+                job, request = item
+            else:
+                job, request = item, None
+            if job.state != PENDING:
+                continue
+            job.state = RUNNING
+            job.started_at = time.time()
+            try:
+                if job.kind == "run":
+                    self._execute_run(job)
+                else:
+                    self._execute_sweep(job, request)
+            except Exception as exc:  # noqa: BLE001 - jobs report, not crash
+                job.fail(f"{type(exc).__name__}: {exc}")
+            self.last_finished_at = time.time()
+
+    def _execute_run(self, job: Job) -> None:
+        request = RunRequest(
+            exp_id=job.params["experiment"],
+            overrides=job.params.get("overrides") or {},
+            force=bool(job.params.get("force")),
+        )
+        record = self.run_executor(request)
+        self.cache.store(record)
+        self._enforce_budget()
+        job.finish(record.to_jsonable(), simulated=True)
+
+    def _execute_sweep(self, job: Job, request: Optional[SweepRequest]) -> None:
+        if request is None:
+            request = SweepRequest(
+                spec=job.params["spec"],
+                axes=job.params.get("axes") or {},
+                jobs=job.params.get("jobs"),
+                force=bool(job.params.get("force")),
+            )
+        result = self.sweep_executor(request, self.cache)
+        payload = result.to_jsonable() if hasattr(result, "to_jsonable") else result
+        simulated = True
+        if isinstance(payload, dict):
+            simulated = bool(payload.get("meta", {}).get("simulated", 1))
+        self._enforce_budget()
+        job.finish(payload, simulated=simulated)
+
+    def _enforce_budget(self) -> None:
+        if self.cache_budget_bytes is not None:
+            enforce_budget(self.cache, self.cache_budget_bytes)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue-side numbers for ``/healthz``."""
+        counts = self.registry.counts()
+        return {
+            "workers": self.workers,
+            "depth": self.depth(),
+            "jobs": {k: counts[k] for k in (PENDING, RUNNING, DONE, FAILED)},
+            "coalesced": counts["coalesced"],
+            "last_finished_at": self.last_finished_at,
+        }

@@ -1,0 +1,252 @@
+"""The ``repro serve`` HTTP service (stdlib-only, threaded).
+
+A :class:`ReproServer` is a ``ThreadingHTTPServer`` front end over a
+:class:`~repro.serve.jobqueue.JobQueue`: HTTP threads only parse,
+validate, and consult the registry/cache — every simulation happens in
+the queue's workers (which themselves ship work to spawned processes),
+so the service stays responsive while experiments run.
+
+Endpoints (all JSON)::
+
+    POST /v1/runs        submit an experiment run   -> job envelope
+    POST /v1/sweeps      submit a sensitivity sweep -> job envelope
+    GET  /v1/jobs/<id>   poll one job               -> job envelope
+    GET  /v1/jobs        list known jobs            -> {"jobs": [...]}
+    GET  /v1/experiments list runnable experiments  -> {"experiments": [...]}
+    GET  /healthz        liveness + queue/cache stats
+
+Submission responses carry the full job envelope immediately: a warm
+request (already cached) arrives with ``state: "done"``,
+``simulated: false`` and the record inline — zero simulation, suitable
+for millisecond-latency polling loops. Status codes: ``200`` for
+finished jobs and reads, ``202`` for accepted-but-not-finished
+submissions, ``400`` for invalid bodies (message in ``{"error": ...}``),
+``404`` for unknown jobs/paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.serve.jobqueue import DONE, JobQueue
+from repro.serve.schemas import (
+    SchemaError,
+    parse_run_request,
+    parse_sweep_request,
+)
+
+#: Largest accepted request body; runs/sweep submissions are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ReproServer`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def repro(self) -> "ReproServer":
+        return self.server.repro_server  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SchemaError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise SchemaError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SchemaError(f"request body is not valid JSON: {exc}") from exc
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        self.repro.log(f"{self.address_string()} {format % args}")
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.repro.health())
+            return
+        if path == "/v1/experiments":
+            self._send_json(200, self.repro.experiments())
+            return
+        if path == "/v1/jobs":
+            jobs = self.repro.queue.registry.jobs()
+            self._send_json(
+                200,
+                {"jobs": [job.to_jsonable(include_result=False)
+                          for job in jobs]},
+            )
+            return
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            job = self.repro.queue.registry.get(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                return
+            self._send_json(200, job.to_jsonable())
+            return
+        self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if path == "/v1/runs":
+                request = parse_run_request(self._read_json_body())
+                job = self.repro.queue.submit_run(request)
+            elif path == "/v1/sweeps":
+                request = parse_sweep_request(self._read_json_body())
+                job = self.repro.queue.submit_sweep(request)
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+                return
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(200 if job.state == DONE else 202, job.to_jsonable())
+
+
+class ReproServer:
+    """The long-running service: HTTP front end + job queue + cache."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8737,
+        jobs: int = 2,
+        cache: Optional[ResultCache] = None,
+        cache_budget_bytes: Optional[int] = None,
+        run_executor=None,
+        sweep_executor=None,
+        quiet: bool = False,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.queue = JobQueue(
+            workers=jobs,
+            cache=self.cache,
+            cache_budget_bytes=cache_budget_bytes,
+            run_executor=run_executor,
+            sweep_executor=sweep_executor,
+        )
+        self.quiet = quiet
+        self.started_at = time.time()
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.repro_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addresses ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` ephemerals."""
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            import sys
+
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+            print(f"[{stamp}] {message}", file=sys.stderr, flush=True)
+
+    def start(self) -> None:
+        """Serve in a background thread (programmatic/tests)."""
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self.log(f"repro serve listening on {self.url}")
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); Ctrl-C stops."""
+        self.queue.start()
+        self.log(
+            f"repro serve listening on {self.url} "
+            f"({self.queue.workers} workers, cache {self.cache.directory}"
+            + (
+                f", budget {self.queue.cache_budget_bytes} bytes"
+                if self.queue.cache_budget_bytes is not None
+                else ""
+            )
+            + ")"
+        )
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.queue.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.log("repro serve stopped")
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- endpoint payloads -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document: uptime, queue, cache, heartbeat."""
+        from repro import __version__
+
+        now = time.time()
+        return {
+            "status": "ok",
+            "version": __version__,
+            "heartbeat": now,
+            "started_at": self.started_at,
+            "uptime_seconds": round(now - self.started_at, 3),
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    def experiments(self) -> Dict[str, Any]:
+        from repro.core.experiments import EXPERIMENTS
+
+        return {
+            "experiments": [
+                {
+                    "id": exp_id,
+                    "title": spec.title,
+                    "paper_tables": spec.paper_tables,
+                }
+                for exp_id, spec in EXPERIMENTS.items()
+            ]
+        }

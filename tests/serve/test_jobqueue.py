@@ -1,0 +1,254 @@
+"""Job queue behavior: coalescing, warm path, failure, force."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runner.api import resolve_config
+from repro.runner.cache import ResultCache, cache_key
+from repro.runner.record import RunRecord
+from repro.serve.jobqueue import DONE, FAILED, JobQueue
+from repro.serve.schemas import RunRequest, SchemaError, SweepRequest
+
+
+def make_record(config, payload="x") -> RunRecord:
+    """A well-formed record for ``config`` without simulating."""
+    return RunRecord(
+        exp_id=config.exp_id,
+        title="test",
+        paper_tables="-",
+        cache_key=cache_key(config),
+        config=config.to_jsonable(),
+        elapsed_seconds=0.01,
+        checks=[["shape", True, payload]],
+        rendered=payload,
+        summary={"kind": "scalars", "data": {"payload": payload}},
+    )
+
+
+class CountingExecutor:
+    """A run executor that counts calls and can block on a gate."""
+
+    def __init__(self, gate=None, fail=False):
+        self.calls = 0
+        self.lock = threading.Lock()
+        self.gate = gate
+        self.fail = fail
+
+    def __call__(self, request: RunRequest) -> RunRecord:
+        with self.lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(10), "executor gate never opened"
+        if self.fail:
+            raise RuntimeError("injected simulation failure")
+        config = resolve_config(request.exp_id, request.overrides or None)
+        return make_record(config)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def make_queue(cache, executor, workers=2, **kwargs):
+    queue = JobQueue(
+        workers=workers, cache=cache, run_executor=executor, **kwargs
+    )
+    queue.start()
+    return queue
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_share_one_simulation(self, cache):
+        gate = threading.Event()
+        executor = CountingExecutor(gate=gate)
+        queue = make_queue(cache, executor, workers=2)
+        try:
+            request = RunRequest(exp_id="validation")
+            jobs, threads = [], []
+            lock = threading.Lock()
+
+            def submit():
+                job = queue.submit_run(request)
+                with lock:
+                    jobs.append(job)
+
+            for _ in range(8):
+                thread = threading.Thread(target=submit)
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join(10)
+            gate.set()
+
+            assert len(jobs) == 8
+            assert len({job.job_id for job in jobs}) == 1
+            assert len({id(job) for job in jobs}) == 1  # the same Job object
+            assert jobs[0].wait(10)
+            assert jobs[0].state == DONE
+            assert jobs[0].simulated is True
+            assert jobs[0].coalesced == 7
+            assert executor.calls == 1, "identical submissions must coalesce"
+        finally:
+            gate.set()
+            queue.stop()
+
+    def test_distinct_configs_get_distinct_jobs(self, cache):
+        executor = CountingExecutor()
+        queue = make_queue(cache, executor)
+        try:
+            a = queue.submit_run(RunRequest(exp_id="validation"))
+            b = queue.submit_run(
+                RunRequest(exp_id="validation", overrides={"seed": 7})
+            )
+            assert a.job_id != b.job_id
+            assert a.wait(10) and b.wait(10)
+            assert executor.calls == 2
+        finally:
+            queue.stop()
+
+    def test_job_id_is_the_cache_key(self, cache):
+        executor = CountingExecutor()
+        queue = make_queue(cache, executor)
+        try:
+            job = queue.submit_run(RunRequest(exp_id="validation"))
+            assert job.job_id == cache_key(resolve_config("validation"))
+        finally:
+            queue.stop()
+
+
+class TestWarmPath:
+    def test_cached_record_served_without_simulation(self, cache):
+        config = resolve_config("validation")
+        cache.store(make_record(config, payload="warm"))
+        executor = CountingExecutor()
+        queue = make_queue(cache, executor)
+        try:
+            started = time.perf_counter()
+            job = queue.submit_run(RunRequest(exp_id="validation"))
+            elapsed = time.perf_counter() - started
+            assert job.state == DONE  # terminal at submission time
+            assert job.simulated is False
+            assert job.result["rendered"] == "warm"
+            assert executor.calls == 0
+            assert elapsed < 0.25, f"warm path took {elapsed:.3f}s"
+        finally:
+            queue.stop()
+
+    def test_resubmission_after_cold_run_is_warm(self, cache):
+        executor = CountingExecutor()
+        queue = make_queue(cache, executor)
+        try:
+            first = queue.submit_run(RunRequest(exp_id="validation"))
+            assert first.wait(10) and first.simulated is True
+            second = queue.submit_run(RunRequest(exp_id="validation"))
+            assert second.state == DONE
+            assert second.simulated is False
+            assert executor.calls == 1
+            assert second.result["cache_key"] == first.result["cache_key"]
+        finally:
+            queue.stop()
+
+    def test_force_resubmission_simulates_again(self, cache):
+        executor = CountingExecutor()
+        queue = make_queue(cache, executor)
+        try:
+            first = queue.submit_run(RunRequest(exp_id="validation"))
+            assert first.wait(10)
+            forced = queue.submit_run(
+                RunRequest(exp_id="validation", force=True)
+            )
+            assert forced is not first
+            assert forced.wait(10)
+            assert forced.simulated is True
+            assert executor.calls == 2
+        finally:
+            queue.stop()
+
+
+class TestFailuresAndValidation:
+    def test_executor_failure_fails_the_job(self, cache):
+        executor = CountingExecutor(fail=True)
+        queue = make_queue(cache, executor)
+        try:
+            job = queue.submit_run(RunRequest(exp_id="validation"))
+            assert job.wait(10)
+            assert job.state == FAILED
+            assert "injected simulation failure" in job.error
+        finally:
+            queue.stop()
+
+    def test_unknown_experiment_rejected_at_submission(self, cache):
+        queue = JobQueue(cache=cache, run_executor=CountingExecutor())
+        with pytest.raises(SchemaError, match="unknown experiment"):
+            queue.submit_run(RunRequest(exp_id="not-an-experiment"))
+
+    def test_bad_override_rejected_with_suggestion(self, cache):
+        queue = JobQueue(cache=cache, run_executor=CountingExecutor())
+        with pytest.raises(SchemaError, match="did you mean"):
+            queue.submit_run(
+                RunRequest(exp_id="validation", overrides={"sed": 3})
+            )
+
+    def test_unknown_sweep_rejected_at_submission(self, cache):
+        queue = JobQueue(cache=cache)
+        with pytest.raises(SchemaError, match="unknown sweep"):
+            queue.submit_sweep(SweepRequest(spec="not-a-sweep"))
+
+
+class TestSweepJobs:
+    def test_sweep_executor_wiring_and_simulated_flag(self, cache):
+        class FakeSweepResult:
+            def to_jsonable(self):
+                return {"points": [], "meta": {"simulated": 0, "cached": 3}}
+
+        calls = []
+
+        def sweep_executor(request, the_cache):
+            calls.append((request, the_cache))
+            return FakeSweepResult()
+
+        queue = JobQueue(cache=cache, sweep_executor=sweep_executor)
+        queue.start()
+        try:
+            job = queue.submit_sweep(
+                SweepRequest(
+                    spec="em3d-latency", axes={"net_latency": [0, 100]}
+                )
+            )
+            assert job.wait(10)
+            assert job.state == DONE
+            assert job.simulated is False  # all points came from the cache
+            assert calls and calls[0][1] is cache
+            assert calls[0][0].axes == {"net_latency": [0, 100]}
+        finally:
+            queue.stop()
+
+    def test_identical_sweeps_coalesce(self, cache):
+        gate = threading.Event()
+        calls = []
+
+        def sweep_executor(request, the_cache):
+            calls.append(request)
+            assert gate.wait(10)
+            return {"meta": {"simulated": 1}}
+
+        queue = JobQueue(
+            workers=2, cache=cache, sweep_executor=sweep_executor
+        )
+        queue.start()
+        try:
+            request = SweepRequest(
+                spec="em3d-latency", axes={"net_latency": [0, 50]}
+            )
+            a = queue.submit_sweep(request)
+            b = queue.submit_sweep(request)
+            gate.set()
+            assert a is b
+            assert a.wait(10)
+            assert len(calls) == 1
+        finally:
+            gate.set()
+            queue.stop()

@@ -1,0 +1,91 @@
+"""Structural validation of the serve request schemas."""
+
+import pytest
+
+from repro.serve.schemas import (
+    SchemaError,
+    parse_run_request,
+    parse_sweep_request,
+)
+
+
+class TestParseRunRequest:
+    def test_minimal(self):
+        req = parse_run_request({"experiment": "validation"})
+        assert req.exp_id == "validation"
+        assert req.overrides == {}
+        assert req.force is False
+
+    def test_full(self):
+        req = parse_run_request(
+            {
+                "experiment": "gauss",
+                "overrides": {"procs": 4, "app": {"n": 40}},
+                "force": True,
+            }
+        )
+        assert req.overrides == {"procs": 4, "app": {"n": 40}}
+        assert req.force is True
+
+    def test_non_object_body(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            parse_run_request(["validation"])
+
+    def test_missing_experiment(self):
+        with pytest.raises(SchemaError, match="'experiment'"):
+            parse_run_request({"overrides": {}})
+
+    def test_unknown_key_has_suggestion(self):
+        with pytest.raises(SchemaError, match="did you mean 'experiment'"):
+            parse_run_request({"expriment": "validation"})
+
+    def test_overrides_must_be_mapping(self):
+        with pytest.raises(SchemaError, match="'overrides'"):
+            parse_run_request({"experiment": "mse", "overrides": [1, 2]})
+
+    def test_force_must_be_boolean(self):
+        with pytest.raises(SchemaError, match="boolean"):
+            parse_run_request({"experiment": "mse", "force": "yes"})
+
+
+class TestParseSweepRequest:
+    def test_minimal(self):
+        req = parse_sweep_request({"spec": "em3d-latency"})
+        assert req.spec == "em3d-latency"
+        assert req.axes == {}
+        assert req.jobs is None
+
+    def test_axes_and_jobs(self):
+        req = parse_sweep_request(
+            {
+                "spec": "em3d-latency",
+                "axes": {"net_latency": [0, 100]},
+                "jobs": 3,
+            }
+        )
+        assert req.axes == {"net_latency": [0, 100]}
+        assert req.jobs == 3
+
+    def test_missing_spec(self):
+        with pytest.raises(SchemaError, match="'spec'"):
+            parse_sweep_request({})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty list"):
+            parse_sweep_request(
+                {"spec": "em3d-latency", "axes": {"net_latency": []}}
+            )
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty list"):
+            parse_sweep_request(
+                {"spec": "em3d-latency", "axes": {"net_latency": 100}}
+            )
+
+    def test_bad_jobs(self):
+        with pytest.raises(SchemaError, match="positive integer"):
+            parse_sweep_request({"spec": "em3d-latency", "jobs": 0})
+
+    def test_unknown_key(self):
+        with pytest.raises(SchemaError, match="unknown sweep request field"):
+            parse_sweep_request({"spec": "em3d-latency", "axis": {}})

@@ -1,0 +1,185 @@
+"""End-to-end HTTP tests: real sockets, real validation experiment.
+
+The server under test binds an ephemeral port on localhost and runs
+with the in-process run executor (the spawn executor is exercised by
+the CI ``serve-smoke`` job against a real ``repro serve`` process, and
+by ``tools/serve_smoke.py`` locally).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.runner.cache import ResultCache
+from repro.serve import inprocess_run_executor
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("serve") / "cache")
+    instance = api.serve(
+        port=0,
+        block=False,
+        jobs=1,
+        cache=cache,
+        run_executor=inprocess_run_executor,
+        quiet=True,
+    )
+    yield instance
+    instance.stop()
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(server, path, body):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def poll(server, job_id, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, job = get(server, f"/v1/jobs/{job_id}")
+        assert status == 200
+        if job["state"] in ("done", "failed"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestHealthz:
+    def test_health_document(self, server):
+        status, health = get(server, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+        assert health["heartbeat"] >= health["started_at"]
+        assert set(health["queue"]["jobs"]) == {
+            "pending", "running", "done", "failed",
+        }
+        assert "bytes" in health["cache"]
+        assert "records" in health["cache"]
+
+    def test_experiments_listing(self, server):
+        status, listing = get(server, "/v1/experiments")
+        assert status == 200
+        ids = [entry["id"] for entry in listing["experiments"]]
+        assert "validation" in ids and "em3d" in ids
+
+
+class TestRunLifecycle:
+    def test_cold_then_warm_roundtrip(self, server):
+        body = {"experiment": "validation"}
+        status, submitted = post(server, "/v1/runs", body)
+        assert status in (200, 202)
+        job = poll(server, submitted["job_id"])
+        assert job["state"] == "done", job["error"]
+        assert job["result"]["exp_id"] == "validation"
+        assert all(ok for _n, ok, _d in job["result"]["checks"])
+
+        # The stored record is exactly what `repro run` would serve
+        # from its cache for the same configuration.
+        record = api.record_for("validation", cache=server.cache)
+        assert record.cached is True
+        assert record.cache_key == job["result"]["cache_key"]
+        assert record.summary == job["result"]["summary"]
+        assert record.rendered == job["result"]["rendered"]
+
+        # Identical resubmission: answered complete at submission time,
+        # from the cache, with zero simulation, in under 250ms.
+        started = time.perf_counter()
+        status, warm = post(server, "/v1/runs", body)
+        round_trip = time.perf_counter() - started
+        assert status == 200
+        assert warm["state"] == "done"
+        assert warm["simulated"] is False
+        assert round_trip < 0.25, f"warm round trip {round_trip:.3f}s"
+        assert warm["result"]["summary"] == job["result"]["summary"]
+
+    def test_submission_response_carries_job_envelope(self, server):
+        status, job = post(
+            server, "/v1/runs",
+            {"experiment": "validation", "overrides": {"seed": 77}},
+        )
+        assert status in (200, 202)
+        for field in ("job_id", "kind", "state", "params", "submitted_at"):
+            assert field in job
+        assert job["kind"] == "run"
+        done = poll(server, job["job_id"])
+        assert done["state"] == "done"
+
+    def test_jobs_listing(self, server):
+        post(server, "/v1/runs", {"experiment": "validation"})
+        status, listing = get(server, "/v1/jobs")
+        assert status == 200
+        assert listing["jobs"], "jobs listing should not be empty"
+        assert all("result" not in job for job in listing["jobs"])
+
+
+class TestErrors:
+    def test_unknown_job_404(self, server):
+        status, body = get(server, "/v1/jobs/doesnotexist")
+        assert status == 404
+        assert "unknown job" in body["error"]
+
+    def test_unknown_path_404(self, server):
+        status, body = get(server, "/v1/nope")
+        assert status == 404
+
+    def test_unknown_experiment_400(self, server):
+        status, body = post(server, "/v1/runs", {"experiment": "nope"})
+        assert status == 400
+        assert "unknown experiment" in body["error"]
+
+    def test_bad_override_400_with_suggestion(self, server):
+        status, body = post(
+            server, "/v1/runs",
+            {"experiment": "validation", "overrides": {"sed": 1}},
+        )
+        assert status == 400
+        assert "did you mean" in body["error"]
+
+    def test_malformed_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/runs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_empty_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/runs", data=b"",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestServeCli:
+    def test_bad_cache_bytes_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--cache-bytes", "lots"]) == 2
+        assert "byte budget" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for a running ``repro serve`` instance.
+
+Drives the full job lifecycle against a live server (CI boots one in
+the background; locally: ``python -m repro serve --port 8737 &``):
+
+1. wait for ``GET /healthz`` to answer;
+2. ``POST /v1/runs`` for the target experiment (cold) and poll
+   ``GET /v1/jobs/<id>`` until it finishes — the first submission must
+   simulate (``simulated: true``) unless the server's cache was warm;
+3. re-submit the identical request and require it served from the
+   content-addressed cache: ``state: "done"`` in the *submission*
+   response, ``simulated: false``, and a sub-second round trip;
+4. require the warm record to be identical to the cold one
+   (same cache key, same summary) and the health document sane.
+
+Exit code 0 on success, 1 on any violated expectation (with a message
+on stderr). Stdlib only — usable from CI, cron, or a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def get(url: str, path: str):
+    with urllib.request.urlopen(url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(url: str, path: str, body: dict):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def wait_healthy(url: str, timeout: float) -> dict:
+    deadline = time.time() + timeout
+    last_error = "no attempt made"
+    while time.time() < deadline:
+        try:
+            status, health = get(url, "/healthz")
+            if status == 200 and health.get("status") == "ok":
+                return health
+            last_error = f"status={status} body={health}"
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            last_error = str(exc)
+        time.sleep(0.25)
+    raise SystemExit(f"server never became healthy at {url}: {last_error}")
+
+
+def poll_job(url: str, job_id: str, timeout: float) -> dict:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, job = get(url, f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise SystemExit(f"poll failed: status={status} body={job}")
+        if job["state"] in ("done", "failed"):
+            return job
+        time.sleep(0.5)
+    raise SystemExit(f"job {job_id} did not finish within {timeout}s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8737",
+                        help="server base URL (default: %(default)s)")
+    parser.add_argument("--experiment", default="validation",
+                        help="experiment to submit (default: %(default)s)")
+    parser.add_argument("--boot-timeout", type=float, default=60.0,
+                        help="seconds to wait for /healthz (default: 60)")
+    parser.add_argument("--job-timeout", type=float, default=600.0,
+                        help="seconds to wait for the cold job (default: 600)")
+    parser.add_argument("--warm-budget", type=float, default=1.0,
+                        help="max seconds for the warm round trip "
+                             "(default: 1.0)")
+    args = parser.parse_args(argv)
+    url = args.url.rstrip("/")
+    body = {"experiment": args.experiment}
+
+    health = wait_healthy(url, args.boot_timeout)
+    print(f"healthy: uptime {health['uptime_seconds']}s, "
+          f"cache {health['cache']['records']} records "
+          f"({health['cache']['bytes']} bytes)")
+
+    status, job = post(url, "/v1/runs", body)
+    print(f"cold submit: HTTP {status}, state={job['state']}, "
+          f"job {job['job_id'][:16]}")
+    job = poll_job(url, job["job_id"], args.job_timeout)
+    if job["state"] != "done":
+        print(f"cold job failed: {job['error']}", file=sys.stderr)
+        return 1
+    print(f"cold done: simulated={job['simulated']} "
+          f"in {job['elapsed_seconds']:.1f}s")
+    cold_result = job["result"]
+
+    started = time.time()
+    status, warm = post(url, "/v1/runs", body)
+    round_trip = time.time() - started
+    print(f"warm submit: HTTP {status}, state={warm['state']}, "
+          f"simulated={warm['simulated']}, round trip {round_trip*1000:.0f}ms")
+    failures = []
+    if status != 200 or warm["state"] != "done":
+        failures.append(f"warm request not served complete: {warm['state']}")
+    if warm["simulated"] is not False:
+        failures.append("warm request was re-simulated (expected cache hit)")
+    if round_trip > args.warm_budget:
+        failures.append(
+            f"warm round trip {round_trip:.2f}s over {args.warm_budget}s budget"
+        )
+    if warm["result"]["cache_key"] != cold_result["cache_key"]:
+        failures.append("warm record's cache key diverged from cold run")
+    if warm["result"]["summary"] != cold_result["summary"]:
+        failures.append("warm record's summary diverged from cold run")
+
+    status, health = get(url, "/healthz")
+    if health["queue"]["jobs"]["failed"]:
+        failures.append(f"failed jobs on server: {health['queue']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("serve smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
