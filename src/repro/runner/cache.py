@@ -16,6 +16,15 @@ with ``cached=True``; nothing is ever re-simulated to serve a hit.
 Hits also bump the record file's mtime, so mtime order is true LRU
 order and the byte-budget eviction policy (:mod:`repro.serve.eviction`)
 keeps hot records alive while old and stale-salt ones go first.
+
+Blob I/O is delegated to a pluggable *store*
+(:mod:`repro.serve.store`): the default
+:class:`~repro.serve.store.LocalDirStore` is the original one-server
+layout, while :class:`~repro.serve.store.SharedDirStore` makes the
+same directory safe for N server replicas (atomic publishes, eviction
+races tolerated, and cross-replica *claims* so identical cold requests
+cost one simulation fleet-wide). Keys and record bytes are identical
+regardless of the store.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.runner.config import ExperimentConfig
 from repro.runner.record import RECORD_SCHEMA, RunRecord
@@ -86,95 +95,141 @@ class CacheEntry:
 class ResultCache:
     """JSON records keyed by :func:`cache_key`, one file per run."""
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
-        self.directory = Path(
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        store: Union[str, Any, None] = None,
+    ) -> None:
+        resolved = Path(
             directory
             if directory is not None
             else os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR)
         )
+        from repro.serve.store import LocalDirStore, make_store
+
+        if store is None:
+            self._store = LocalDirStore(resolved)
+        elif isinstance(store, str):
+            self._store = make_store(store, resolved)
+        else:
+            self._store = store
+
+    @property
+    def blob_store(self):
+        """The blob store behind this cache (see :mod:`repro.serve.store`).
+
+        (Named ``blob_store`` because :meth:`store` — persist a record —
+        predates the seam.)
+        """
+        return self._store
+
+    @property
+    def directory(self) -> Path:
+        return self._store.directory
+
+    @staticmethod
+    def _name(exp_id: str, key: str) -> str:
+        return f"{exp_id}-{key[:16]}.json"
 
     def _path(self, exp_id: str, key: str) -> Path:
-        return self.directory / f"{exp_id}-{key[:16]}.json"
+        return self.directory / self._name(exp_id, key)
 
     def load(self, config: ExperimentConfig) -> Optional[RunRecord]:
         """The stored record for this exact configuration, or ``None``."""
         key = cache_key(config)
-        path = self._path(config.exp_id, key)
-        if not path.exists():
+        name = self._name(config.exp_id, key)
+        raw = self._store.read(name)
+        if raw is None:
             return None
         try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
             return None
         if data.get("cache_key") != key or data.get("schema") != RECORD_SCHEMA:
             return None
-        try:
-            # A hit is a "use" in LRU terms: bump the mtime so the
-            # eviction policy sees hot records as young.
-            os.utime(path, None)
-        except OSError:
-            pass
+        # A hit is a "use" in LRU terms: bump the mtime so the
+        # eviction policy sees hot records as young.
+        self._store.touch(name)
         record = RunRecord.from_jsonable(data)
         record.cached = True
         return record
 
     def store(self, record: RunRecord) -> Path:
-        """Persist one record; atomic enough for concurrent writers."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(record.exp_id, record.cache_key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record.to_jsonable(), indent=1, sort_keys=True))
-        tmp.replace(path)
-        return path
+        """Persist one record; atomic under concurrent writers."""
+        data = json.dumps(record.to_jsonable(), indent=1, sort_keys=True)
+        return self._store.write(
+            self._name(record.exp_id, record.cache_key),
+            data.encode("utf-8"),
+        )
+
+    # -- cross-replica claims ----------------------------------------------
+
+    @property
+    def coordinates_writers(self) -> bool:
+        """True when the store arbitrates writers across replicas."""
+        return bool(self._store.coordinates_writers)
+
+    @property
+    def claim_ttl(self) -> Optional[float]:
+        """Seconds after which an unreleased claim counts as orphaned."""
+        return getattr(self._store, "claim_ttl", None)
+
+    def try_claim(self, config: ExperimentConfig) -> bool:
+        """Claim the right to simulate ``config`` (see the store docs)."""
+        return self._store.try_claim(self._name(config.exp_id, cache_key(config)))
+
+    def release_claim(self, config: ExperimentConfig) -> None:
+        self._store.release_claim(self._name(config.exp_id, cache_key(config)))
+
+    def claim_age(self, config: ExperimentConfig) -> Optional[float]:
+        return self._store.claim_age(self._name(config.exp_id, cache_key(config)))
+
+    # -- listings ----------------------------------------------------------
 
     def entries(self) -> Iterator[Tuple[Path, RunRecord]]:
         """All readable records, oldest first."""
-        if not self.directory.is_dir():
-            return
-        for path in sorted(
-            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
-        ):
+        for blob in self._store.list_blobs():
+            raw = self._store.read(blob.name)
+            if raw is None:
+                continue  # evicted between listing and read
             try:
-                data = json.loads(path.read_text())
-                yield path, RunRecord.from_jsonable(data)
-            except (OSError, json.JSONDecodeError, TypeError):
+                data = json.loads(raw.decode("utf-8"))
+                yield self.directory / blob.name, RunRecord.from_jsonable(data)
+            except (UnicodeDecodeError, json.JSONDecodeError, TypeError):
                 continue
 
     def index(self) -> List[CacheEntry]:
         """Size/age/staleness facts for every record file, oldest first.
 
-        Unlike :meth:`entries` this never skips a file: corrupt or
-        unreadable records appear with ``stale=True`` so the eviction
-        policy can reclaim their bytes.
+        Unlike :meth:`entries` this never skips a readable file:
+        corrupt records appear with ``stale=True`` so the eviction
+        policy can reclaim their bytes. Files deleted concurrently (a
+        peer replica's eviction pass) are skipped.
         """
-        if not self.directory.is_dir():
-            return []
         out: List[CacheEntry] = []
-        for path in sorted(
-            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
-        ):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
+        for blob in self._store.list_blobs():
             exp_id, key, stale = "?", "", True
+            raw = self._store.read(blob.name)
+            if raw is None:
+                continue  # evicted between listing and read
             try:
-                data = json.loads(path.read_text())
+                data = json.loads(raw.decode("utf-8"))
                 exp_id = str(data.get("exp_id", "?"))
                 key = str(data.get("cache_key", ""))
                 stale = (
                     data.get("schema") != RECORD_SCHEMA
                     or key != key_for_jsonable(data["config"])
                 )
-            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError):
                 stale = True
             out.append(
                 CacheEntry(
-                    path=path,
+                    path=self.directory / blob.name,
                     exp_id=exp_id,
                     cache_key=key,
-                    bytes=stat.st_size,
-                    mtime=stat.st_mtime,
+                    bytes=blob.bytes,
+                    mtime=blob.mtime,
                     stale=stale,
                 )
             )
@@ -190,6 +245,7 @@ class ResultCache:
         ages = [time.time() - entry.mtime for entry in entries]
         return {
             "directory": str(self.directory),
+            "store": getattr(self._store, "kind", "custom"),
             "records": len(entries),
             "bytes": sum(entry.bytes for entry in entries),
             "stale_records": sum(1 for entry in entries if entry.stale),
@@ -198,12 +254,12 @@ class ResultCache:
 
     def ls(self) -> List[str]:
         """Human-readable listing lines for ``repro cache ls``."""
-        stale_keys = {
-            entry.cache_key for entry in self.index() if entry.stale
-        }
+        index = self.index()
+        stale_keys = {entry.cache_key for entry in index if entry.stale}
+        sizes = {entry.path.name: entry.bytes for entry in index}
         lines = []
         for path, record in self.entries():
-            size = path.stat().st_size
+            size = sizes.get(path.name, 0)
             status = "ok" if record.all_ok else "FAIL"
             salt = "stale" if record.cache_key in stale_keys else "fresh"
             lines.append(
@@ -216,11 +272,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every cached record; returns the number removed."""
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for blob in self._store.list_blobs():
+            if self._store.delete(blob.name):
+                removed += 1
         return removed

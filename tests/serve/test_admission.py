@@ -1,0 +1,265 @@
+"""Admission control: token buckets, queue bounds, 429/503 over HTTP."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.serve.admission import AdmissionError, RateLimiter, TokenBucket
+from repro.serve.jobqueue import DONE, JobQueue, QueueShutdown
+from repro.serve.schemas import RunRequest
+
+from tests.serve.test_jobqueue import CountingExecutor, make_record
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=clock())
+        takes = [bucket.try_take(clock())[0] for _ in range(4)]
+        assert takes == [True, True, True, False]
+        _, wait = bucket.try_take(clock())
+        assert wait == pytest.approx(0.5)  # one token at 2/s
+        clock.now += 0.5
+        assert bucket.try_take(clock())[0] is True
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=clock())
+        clock.now += 100.0
+        results = [bucket.try_take(clock())[0] for _ in range(3)]
+        assert results == [True, True, False]
+
+
+class TestRateLimiter:
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        limiter.check("10.0.0.1")
+        with pytest.raises(AdmissionError):
+            limiter.check("10.0.0.1")
+        limiter.check("10.0.0.2")  # a different client is unaffected
+
+    def test_retry_after_is_sane(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.5, burst=1.0, clock=clock)
+        limiter.check("c")
+        with pytest.raises(AdmissionError) as excinfo:
+            limiter.check("c")
+        assert excinfo.value.retry_after >= 1.0
+        assert int(excinfo.value.retry_after_header) >= 1
+
+    def test_idle_buckets_are_pruned(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            rate=1.0, burst=1.0, max_clients=4, clock=clock
+        )
+        for i in range(4):
+            limiter.check(f"client-{i}")
+        clock.now += 100.0  # everyone refills → prunable
+        limiter.check("client-new")
+        assert limiter.clients() <= 2
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestQueueAdmission:
+    def test_full_queue_refuses_cold_jobs(self, cache):
+        gate = threading.Event()
+        executor = CountingExecutor(gate=gate)
+        queue = JobQueue(
+            workers=1, cache=cache, run_executor=executor, max_pending=1
+        )
+        queue.start()
+        try:
+            queue.submit_run(RunRequest(exp_id="validation"))
+            # Wait until the worker has taken the first job off the
+            # queue so exactly one slot of backlog remains.
+            deadline = time.time() + 5
+            while queue.depth() > 0 and time.time() < deadline:
+                time.sleep(0.02)
+            waiting = queue.submit_run(
+                RunRequest(exp_id="validation", overrides={"seed": 2})
+            )
+            assert waiting.state == "pending"
+            with pytest.raises(AdmissionError) as excinfo:
+                queue.submit_run(
+                    RunRequest(exp_id="validation", overrides={"seed": 3})
+                )
+            assert excinfo.value.retry_after >= 1.0
+            # The refused job was never registered: polling its ID is
+            # a miss, not a stuck pending envelope.
+            assert queue.registry.counts()["pending"] == 1
+        finally:
+            gate.set()
+            queue.stop()
+
+    def test_warm_submissions_bypass_a_full_queue(self, cache):
+        from repro.runner.api import resolve_config
+
+        config = resolve_config("validation")
+        cache.store(make_record(config, payload="warm"))
+        queue = JobQueue(
+            workers=1, cache=cache,
+            run_executor=CountingExecutor(), max_pending=0,
+        )
+        queue.start()
+        try:
+            # max_pending=0 refuses every cold job...
+            with pytest.raises(AdmissionError):
+                queue.submit_run(
+                    RunRequest(exp_id="validation", overrides={"seed": 9})
+                )
+            # ...but the warm path costs nothing and is never refused.
+            job = queue.submit_run(RunRequest(exp_id="validation"))
+            assert job.state == DONE
+            assert job.simulated is False
+        finally:
+            queue.stop()
+
+    def test_coalesced_submissions_bypass_a_full_queue(self, cache):
+        gate = threading.Event()
+        executor = CountingExecutor(gate=gate)
+        queue = JobQueue(
+            workers=1, cache=cache, run_executor=executor, max_pending=1
+        )
+        queue.start()
+        try:
+            first = queue.submit_run(RunRequest(exp_id="validation"))
+            rider = queue.submit_run(RunRequest(exp_id="validation"))
+            assert rider is first
+            assert first.coalesced == 1
+            gate.set()
+            assert first.wait(10)
+            assert executor.calls == 1
+        finally:
+            gate.set()
+            queue.stop()
+
+    def test_retry_after_scales_with_backlog(self, cache):
+        queue = JobQueue(
+            workers=2, cache=cache, run_executor=CountingExecutor()
+        )
+        assert 1.0 <= queue.retry_after_hint() <= 120.0
+        queue._avg_seconds = 10.0
+        assert queue.retry_after_hint() >= 1.0
+
+
+class TestShutdownRefusal:
+    def test_submissions_after_stop_get_queue_shutdown(self, cache):
+        queue = JobQueue(
+            workers=1, cache=cache, run_executor=CountingExecutor()
+        )
+        queue.start()
+        queue.stop()
+        with pytest.raises(QueueShutdown):
+            queue.submit_run(RunRequest(exp_id="validation"))
+
+    def test_warm_answers_survive_shutdown(self, cache):
+        from repro.runner.api import resolve_config
+
+        config = resolve_config("validation")
+        cache.store(make_record(config, payload="warm"))
+        queue = JobQueue(
+            workers=1, cache=cache, run_executor=CountingExecutor()
+        )
+        queue.start()
+        queue.stop()
+        job = queue.submit_run(RunRequest(exp_id="validation"))
+        assert job.state == DONE and job.simulated is False
+
+
+class TestHttpAdmission:
+    def test_rate_limited_post_gets_429_with_retry_after(self, tmp_path):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro import api
+        from repro.serve import inprocess_run_executor
+
+        server = api.serve(
+            port=0,
+            block=False,
+            jobs=1,
+            cache=ResultCache(tmp_path / "cache"),
+            run_executor=inprocess_run_executor,
+            rate_limit=0.001,  # one request, then a long refill
+            rate_burst=1.0,
+            quiet=True,
+        )
+        try:
+            body = json.dumps({"experiment": "validation"}).encode()
+
+            def submit():
+                request = urllib.request.Request(
+                    server.url + "/v1/runs", data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                return urllib.request.urlopen(request, timeout=10)
+
+            first = submit()
+            assert first.status in (200, 202)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                submit()
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            payload = json.loads(excinfo.value.read())
+            assert "rate limit" in payload["error"]
+            # Keep-alive connections stay usable after a 429: GETs are
+            # not rate limited.
+            with urllib.request.urlopen(
+                server.url + "/healthz", timeout=10
+            ) as response:
+                assert response.status == 200
+        finally:
+            server.stop()
+
+    def test_full_queue_gets_429_over_http(self, tmp_path):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro import api
+
+        gate = threading.Event()
+        executor = CountingExecutor(gate=gate)
+        server = api.serve(
+            port=0,
+            block=False,
+            jobs=1,
+            cache=ResultCache(tmp_path / "cache"),
+            run_executor=executor,
+            max_pending=0,
+            quiet=True,
+        )
+        try:
+            request = urllib.request.Request(
+                server.url + "/v1/runs",
+                data=json.dumps({"experiment": "validation"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 429
+            assert "Retry-After" in excinfo.value.headers
+            assert "queue full" in json.loads(excinfo.value.read())["error"]
+        finally:
+            gate.set()
+            server.stop()

@@ -183,3 +183,179 @@ class TestServeCli:
 
         assert main(["serve", "--cache-bytes", "lots"]) == 2
         assert "byte budget" in capsys.readouterr().err
+
+
+class TestKeepAliveDesync:
+    """HTTP/1.1 keep-alive: every early-exit path must drain the
+    request body, or the unread body is parsed as the next request on
+    the same connection (request desync)."""
+
+    def _request_bytes(self, path, body: bytes, host: str) -> bytes:
+        return (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("ascii") + body
+
+    @staticmethod
+    def _parse_statuses(raw: bytes):
+        """Frame HTTP/1.1 responses by Content-Length; a framing error
+        here IS the desync the regression guards against."""
+        statuses = []
+        while raw:
+            head, sep, rest = raw.partition(b"\r\n\r\n")
+            assert sep, f"truncated response head: {raw[:80]!r}"
+            status_line = head.split(b"\r\n", 1)[0]
+            assert status_line.startswith(b"HTTP/1.1 "), status_line
+            statuses.append(int(status_line.split(b" ")[1]))
+            length = 0
+            for line in head.split(b"\r\n")[1:]:
+                name, _, value = line.partition(b":")
+                if name.lower() == b"content-length":
+                    length = int(value.strip())
+            assert len(rest) >= length, "truncated response body"
+            raw = rest[length:]
+        return statuses
+
+    def test_pipelined_posts_on_one_connection(self, server):
+        """Valid, unknown-path, oversized, and malformed-JSON POSTs
+        pipelined on one persistent connection all get the answer that
+        belongs to them."""
+        import socket
+
+        from repro.serve.server import MAX_BODY_BYTES
+
+        host, port = server.address
+        requests = [
+            # (path, body, expected_status)
+            ("/v1/runs", json.dumps({"experiment": "validation"}).encode(),
+             (200, 202)),
+            ("/v1/nope", json.dumps({"experiment": "validation"}).encode(),
+             (404,)),
+            ("/v1/runs", b"x" * (MAX_BODY_BYTES + 1), (400,)),
+            ("/v1/runs", b"{not json", (400,)),
+            ("/v1/runs", json.dumps({"experiment": "validation"}).encode(),
+             (200, 202)),
+        ]
+        payload = b"".join(
+            self._request_bytes(path, body, host)
+            for path, body, _ in requests
+        )
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+
+        statuses = self._parse_statuses(raw)
+        assert len(statuses) == len(requests), (
+            f"expected {len(requests)} responses, got {len(statuses)}: "
+            f"{statuses} (desync?)"
+        )
+        for (path, _body, expected), status in zip(requests, statuses):
+            assert status in expected, (
+                f"{path}: expected {expected}, got {status}"
+            )
+
+    def test_sequential_keepalive_after_errors(self, server):
+        """http.client on one persistent connection: the socket stays
+        usable across 404/400 answers."""
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            cases = [
+                ("POST", "/v1/nope", b'{"experiment": "validation"}', 404),
+                ("POST", "/v1/runs", b"{broken", 400),
+                ("POST", "/v1/runs", b'{"experiment": "validation"}', None),
+                ("GET", "/healthz", None, 200),
+            ]
+            sock_ids = []
+            for method, path, body, expected in cases:
+                headers = {"Content-Type": "application/json"} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                if expected is not None:
+                    assert response.status == expected, (path, payload)
+                sock_ids.append(id(conn.sock))
+            assert len(set(sock_ids)) == 1, "connection was not reused"
+        finally:
+            conn.close()
+
+    def test_get_with_body_stays_in_sync(self, server):
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/healthz", body=b'{"stray": "body"}',
+                         headers={"Content-Type": "application/json"})
+            first = conn.getresponse()
+            assert first.status == 200
+            json.loads(first.read())
+            conn.request("GET", "/v1/experiments")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert "experiments" in json.loads(second.read())
+        finally:
+            conn.close()
+
+
+class TestLongPoll:
+    def test_wait_returns_immediately_for_done_job(self, server):
+        status, job = post(server, "/v1/runs", {"experiment": "validation"})
+        job = poll(server, job["job_id"])
+        started = time.perf_counter()
+        status, again = get(server, f"/v1/jobs/{job['job_id']}?wait=10")
+        elapsed = time.perf_counter() - started
+        assert status == 200
+        assert again["state"] == "done"
+        assert elapsed < 2.0, "long-poll on a finished job must not block"
+
+    def test_wait_blocks_until_completion(self, server):
+        body = {"experiment": "validation", "overrides": {"seed": 4242}}
+        status, submitted = post(server, "/v1/runs", body)
+        assert status in (200, 202)
+        status, job = get(
+            server, f"/v1/jobs/{submitted['job_id']}?wait=30"
+        )
+        assert status == 200
+        assert job["state"] in ("done", "failed")
+        assert job["state"] == "done", job["error"]
+
+    def test_bad_wait_is_a_400(self, server):
+        status, job = post(server, "/v1/runs", {"experiment": "validation"})
+        status, body = get(server, f"/v1/jobs/{job['job_id']}?wait=soon")
+        assert status == 400
+        assert "wait=" in body["error"]
+
+
+class TestStatusPage:
+    def test_status_page_renders(self, server):
+        post(server, "/v1/runs", {"experiment": "validation"})
+        import urllib.request
+
+        with urllib.request.urlopen(server.url + "/status", timeout=10) as r:
+            assert r.status == 200
+            assert "text/html" in r.headers["Content-Type"]
+            page = r.read().decode("utf-8")
+        assert "repro serve" in page
+        assert "cache records" in page
+        assert "validation" in page or "job" in page
+
+    def test_health_reports_admission_and_retention(self, server):
+        status, health = get(server, "/healthz")
+        assert status == 200
+        assert "max_pending" in health["admission"]
+        assert "retention" in health["queue"]
+        assert health["queue"]["retention"]["max_terminal"] is not None
+        assert health["cache"]["store"] == "local"
+        assert health["replica"]["pid"] > 0

@@ -1,0 +1,232 @@
+"""Result-store seam: layout parity, concurrency, claims, tolerance."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runner.api import resolve_config
+from repro.runner.cache import ResultCache, cache_key
+from repro.runner.record import RunRecord
+from repro.serve.eviction import enforce_budget
+from repro.serve.store import (
+    LocalDirStore,
+    SharedDirStore,
+    make_store,
+)
+
+
+def make_record(config, payload="x") -> RunRecord:
+    return RunRecord(
+        exp_id=config.exp_id,
+        title="test",
+        paper_tables="-",
+        cache_key=cache_key(config),
+        config=config.to_jsonable(),
+        elapsed_seconds=0.01,
+        checks=[["shape", True, payload]],
+        rendered=payload,
+        summary={"kind": "scalars", "data": {"payload": payload}},
+    )
+
+
+class TestFactoryAndParity:
+    def test_make_store_kinds(self, tmp_path):
+        assert isinstance(make_store("local", tmp_path), LocalDirStore)
+        assert isinstance(make_store("shared", tmp_path), SharedDirStore)
+        with pytest.raises(ValueError, match="unknown store kind"):
+            make_store("s3", tmp_path)
+
+    def test_cache_accepts_store_kind_string(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", store="shared")
+        assert cache.coordinates_writers is True
+        assert cache.blob_store.kind == "shared"
+
+    def test_stores_produce_byte_identical_records(self, tmp_path):
+        """The store choice changes no key and no record byte."""
+        config = resolve_config("validation")
+        record = make_record(config)
+        local = ResultCache(tmp_path / "local")
+        shared = ResultCache(tmp_path / "shared", store="shared")
+        path_a = local.store(record)
+        path_b = shared.store(record)
+        assert path_a.name == path_b.name  # same content-addressed name
+        assert path_a.read_bytes() == path_b.read_bytes()
+        for cache in (local, shared):
+            loaded = cache.load(config)
+            assert loaded is not None and loaded.cached is True
+            assert loaded.cache_key == record.cache_key
+
+    def test_read_missing_returns_none(self, tmp_path):
+        store = SharedDirStore(tmp_path)
+        assert store.read("nope.json") is None
+        assert store.touch("nope.json") is False
+        assert store.delete("nope.json") is False
+
+
+class TestConcurrentWriters:
+    def test_two_writers_never_tear_a_record(self, tmp_path):
+        """N threads rewriting one name: readers only ever see valid
+        JSON equal to one complete write (atomic os.replace)."""
+        store = SharedDirStore(tmp_path)
+        payloads = [
+            json.dumps({"writer": i, "fill": "z" * 2000}).encode("utf-8")
+            for i in range(4)
+        ]
+        stop = threading.Event()
+        torn = []
+
+        def writer(data):
+            while not stop.is_set():
+                store.write("contended.json", data)
+
+        def reader():
+            while not stop.is_set():
+                raw = store.read("contended.json")
+                if raw is None:
+                    continue
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except json.JSONDecodeError:
+                    torn.append(raw[:40])
+                    return
+                if raw not in payloads:
+                    torn.append(raw[:40])
+                    return
+                assert "writer" in doc
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(5)
+        assert not torn, f"reader observed a torn record: {torn}"
+        assert store.read("contended.json") in payloads
+        # No temp droppings left behind.
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_store_while_evict(self, tmp_path):
+        """Writers racing an eviction pass: no exceptions, budget
+        enforced, and listings never crash on vanishing files."""
+        cache = ResultCache(tmp_path, store="shared")
+        configs = [
+            resolve_config("validation", {"seed": seed})
+            for seed in range(1, 7)
+        ]
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    for config in configs:
+                        cache.store(make_record(config))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    enforce_budget(cache, budget_bytes=1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def lister():
+            try:
+                while not stop.is_set():
+                    cache.index()
+                    cache.total_bytes()
+                    list(cache.entries())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=evictor),
+            threading.Thread(target=lister),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.6)
+        stop.set()
+        for t in threads:
+            t.join(5)
+        assert not errors, errors
+        report = enforce_budget(cache, budget_bytes=1)
+        assert report.bytes_after <= 1
+
+    def test_corrupt_file_tolerance(self, tmp_path):
+        cache = ResultCache(tmp_path, store="shared")
+        config = resolve_config("validation")
+        cache.store(make_record(config))
+        (tmp_path / "garbage-0123456789abcdef.json").write_text("{not json")
+        # load of the good record still works; listings mark the
+        # garbage stale instead of crashing.
+        assert cache.load(config) is not None
+        index = cache.index()
+        assert len(index) == 2
+        assert any(entry.stale for entry in index)
+        # Eviction reclaims the corrupt bytes first.
+        good_bytes = next(e.bytes for e in index if not e.stale)
+        report = enforce_budget(cache, budget_bytes=good_bytes)
+        assert report.stale_evicted == 1
+        assert cache.load(config) is not None
+
+
+class TestClaims:
+    def test_local_store_claims_are_trivial(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        assert store.coordinates_writers is False
+        assert store.try_claim("a.json") and store.try_claim("a.json")
+        assert store.claim_age("a.json") is None
+        store.release_claim("a.json")
+
+    def test_only_one_claimant_wins(self, tmp_path):
+        store = SharedDirStore(tmp_path)
+        wins = []
+        barrier = threading.Barrier(6)
+
+        def claimant():
+            barrier.wait()
+            if store.try_claim("key.json"):
+                wins.append(threading.get_ident())
+
+        threads = [threading.Thread(target=claimant) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert len(wins) == 1
+        assert store.claim_age("key.json") is not None
+        store.release_claim("key.json")
+        assert store.claim_age("key.json") is None
+        assert store.try_claim("key.json")
+        store.release_claim("key.json")
+
+    def test_stale_claim_is_broken(self, tmp_path):
+        import os
+
+        store = SharedDirStore(tmp_path, claim_ttl=0.05)
+        assert store.try_claim("key.json")
+        # Simulate a crashed claimant: age the lock past the TTL.
+        lock = tmp_path / "key.json.lock"
+        old = time.time() - 10.0
+        os.utime(lock, (old, old))
+        assert store.try_claim("key.json"), "stale claim must be breakable"
+        store.release_claim("key.json")
+
+    def test_claims_via_cache_config_api(self, tmp_path):
+        cache = ResultCache(tmp_path, store="shared")
+        config = resolve_config("validation")
+        assert cache.try_claim(config)
+        assert not cache.try_claim(config)
+        assert cache.claim_age(config) is not None
+        assert cache.claim_ttl is not None
+        cache.release_claim(config)
+        assert cache.claim_age(config) is None
+        # Lock files never appear in record listings or byte totals.
+        assert cache.index() == []

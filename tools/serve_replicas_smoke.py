@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Two-replica smoke test: shared store, one simulation fleet-wide.
+
+Boots TWO ``repro serve`` subprocesses pointed at the same cache
+directory with ``--store shared``, then:
+
+1. submits the identical run to both replicas concurrently and polls
+   each until terminal — both must report ``done`` with identical
+   result envelopes (same cache key, same summary), and exactly ONE
+   submission fleet-wide may carry ``simulated: true``: the other
+   replica must have adopted the winner's record through the shared
+   store (claim protocol), not re-simulated;
+2. requires the shared cache directory to hold exactly one record for
+   the key and no leftover ``*.lock`` / ``*.tmp.*`` droppings;
+3. floods one overload-tuned replica (``--max-pending 2 --jobs 1``)
+   with rapid distinct submissions and requires at least one HTTP 429
+   carrying a positive integer ``Retry-After`` header — admission
+   control under real multi-client pressure.
+
+Exit code 0 on success, 1 on any violated expectation. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def get(url: str, path: str):
+    with urllib.request.urlopen(url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(url: str, path: str, body: dict):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(url: str, timeout: float) -> None:
+    deadline = time.time() + timeout
+    last_error = "no attempt made"
+    while time.time() < deadline:
+        try:
+            status, health = get(url, "/healthz")
+            if status == 200 and health.get("status") == "ok":
+                return
+            last_error = f"status={status}"
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            last_error = str(exc)
+        time.sleep(0.2)
+    raise SystemExit(f"replica never became healthy at {url}: {last_error}")
+
+
+def poll_job(url: str, job_id: str, timeout: float) -> dict:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, job = get(url, f"/v1/jobs/{job_id}?wait=5")
+        if status != 200:
+            raise SystemExit(f"poll failed: status={status} body={job}")
+        if job["state"] in ("done", "failed"):
+            return job
+    raise SystemExit(f"job {job_id} did not finish within {timeout}s")
+
+
+def boot_replica(cache_dir: str, port: int, log_path: str,
+                 extra_args=()) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.setdefault("PYTHONPATH", "src")
+    log = open(log_path, "w")  # noqa: SIM115 - lives as long as the child
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--store", "shared", *extra_args],
+        env=env, stdout=log, stderr=subprocess.STDOUT,
+    )
+
+
+def shut_down(procs) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGINT)
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def check_exactly_once(urls, body, job_timeout: float) -> list:
+    """Identical concurrent submissions → one simulation fleet-wide."""
+    barrier = threading.Barrier(len(urls))
+    submissions = [None] * len(urls)
+
+    def submit(index: int) -> None:
+        barrier.wait()
+        status, _headers, job = post(urls[index], "/v1/runs", body)
+        submissions[index] = (status, job)
+
+    threads = [threading.Thread(target=submit, args=(i,))
+               for i in range(len(urls))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    failures = []
+    finals = []
+    for url, (status, job) in zip(urls, submissions):
+        if status not in (200, 202):
+            failures.append(f"{url}: submission answered HTTP {status}")
+            continue
+        final = poll_job(url, job["job_id"], job_timeout)
+        if final["state"] != "done":
+            failures.append(f"{url}: job failed: {final['error']}")
+            continue
+        finals.append((url, final))
+        print(f"{url}: done, simulated={final['simulated']}")
+
+    if len(finals) == len(urls):
+        simulated = [f for _u, f in finals if f["simulated"]]
+        if len(simulated) != 1:
+            failures.append(
+                f"expected exactly 1 simulation fleet-wide, got "
+                f"{len(simulated)} (claim protocol broken)"
+            )
+        keys = {f["result"]["cache_key"] for _u, f in finals}
+        if len(keys) != 1:
+            failures.append(f"replicas disagree on cache key: {keys}")
+        summaries = [json.dumps(f["result"]["summary"], sort_keys=True)
+                     for _u, f in finals]
+        if len(set(summaries)) != 1:
+            failures.append("replica records are not bit-identical: "
+                            "summaries diverge")
+    return failures
+
+
+def check_store_hygiene(cache_dir: str) -> list:
+    failures = []
+    names = sorted(os.listdir(cache_dir))
+    records = [n for n in names if n.endswith(".json")]
+    droppings = [n for n in names if ".tmp." in n or n.endswith(".lock")]
+    print(f"shared store: {len(records)} record(s), "
+          f"{len(droppings)} dropping(s)")
+    if len(records) != 1:
+        failures.append(
+            f"expected exactly 1 shared record, found {records}"
+        )
+    if droppings:
+        failures.append(f"store left tmp/lock droppings: {droppings}")
+    return failures
+
+
+def check_overload(url: str, flood: int) -> list:
+    """Rapid distinct submissions against a tiny queue must 429."""
+    refused = []
+    accepted = 0
+    for seed in range(1, flood + 1):
+        status, headers, body = post(
+            url, "/v1/runs",
+            {"experiment": "validation", "overrides": {"seed": seed}},
+        )
+        if status == 429:
+            refused.append(headers.get("Retry-After"))
+        elif status in (200, 202):
+            accepted += 1
+        else:
+            return [f"overload submission answered HTTP {status}: {body}"]
+    print(f"overload: {accepted} accepted, {len(refused)} refused "
+          f"with Retry-After {sorted(set(refused))}")
+    failures = []
+    if not refused:
+        failures.append(
+            f"{flood} rapid submissions never drew a 429 "
+            "(admission control inert)"
+        )
+    for value in refused:
+        if value is None or not value.isdigit() or int(value) < 1:
+            failures.append(f"429 carried a bad Retry-After: {value!r}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="validation",
+                        help="experiment to submit (default: %(default)s)")
+    parser.add_argument("--boot-timeout", type=float, default=60.0,
+                        help="seconds to wait for /healthz (default: 60)")
+    parser.add_argument("--job-timeout", type=float, default=600.0,
+                        help="seconds to wait for jobs (default: 600)")
+    parser.add_argument("--flood", type=int, default=12,
+                        help="submissions for the overload check "
+                             "(default: 12)")
+    args = parser.parse_args(argv)
+    body = {"experiment": args.experiment}
+
+    with tempfile.TemporaryDirectory(prefix="repro-replicas-") as workdir:
+        cache_dir = os.path.join(workdir, "shared-cache")
+        ports = [free_port(), free_port()]
+        urls = [f"http://127.0.0.1:{port}" for port in ports]
+        procs = [
+            boot_replica(cache_dir, ports[0],
+                         os.path.join(workdir, "replica-a.log")),
+            boot_replica(cache_dir, ports[1],
+                         os.path.join(workdir, "replica-b.log")),
+        ]
+        failures = []
+        try:
+            for url in urls:
+                wait_healthy(url, args.boot_timeout)
+            print(f"two replicas healthy on one store: {', '.join(urls)}")
+
+            failures += check_exactly_once(urls, body, args.job_timeout)
+            failures += check_store_hygiene(cache_dir)
+        finally:
+            shut_down(procs)
+
+        # Overload check gets its own throttled replica so the flood
+        # cannot interfere with the exactly-once run above.
+        overload_port = free_port()
+        overload_url = f"http://127.0.0.1:{overload_port}"
+        overload = boot_replica(
+            os.path.join(workdir, "overload-cache"), overload_port,
+            os.path.join(workdir, "overload.log"),
+            extra_args=("--jobs", "1", "--max-pending", "2"),
+        )
+        try:
+            wait_healthy(overload_url, args.boot_timeout)
+            failures += check_overload(overload_url, args.flood)
+        finally:
+            shut_down([overload])
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            for name in ("replica-a.log", "replica-b.log", "overload.log"):
+                path = os.path.join(workdir, name)
+                if os.path.exists(path):
+                    with open(path) as log:
+                        sys.stderr.write(f"--- {name} ---\n{log.read()}")
+            return 1
+    print("serve replicas smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,13 @@ the background; locally: ``python -m repro serve --port 8737 &``):
    content-addressed cache: ``state: "done"`` in the *submission*
    response, ``simulated: false``, and a sub-second round trip;
 4. require the warm record to be identical to the cold one
-   (same cache key, same summary) and the health document sane.
+   (same cache key, same summary) and the health document sane;
+5. long-poll ``GET /v1/jobs/<id>?wait=...`` and require a terminal
+   state from a single request (no client-side poll loop);
+6. issue a mixed keep-alive sequence (valid POST, unknown path,
+   malformed JSON, health GET) over ONE persistent connection and
+   require every response to match its request — guards against
+   HTTP/1.1 request desync from undrained bodies.
 
 Exit code 0 on success, 1 on any violated expectation (with a message
 on stderr). Stdlib only — usable from CI, cron, or a shell.
@@ -21,10 +27,12 @@ on stderr). Stdlib only — usable from CI, cron, or a shell.
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import sys
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 
@@ -68,6 +76,65 @@ def poll_job(url: str, job_id: str, timeout: float) -> dict:
             return job
         time.sleep(0.5)
     raise SystemExit(f"job {job_id} did not finish within {timeout}s")
+
+
+def check_long_poll(url: str, job_id: str) -> list:
+    """One GET with ``wait=`` must return a terminal state by itself."""
+    started = time.time()
+    status, job = get(url, f"/v1/jobs/{job_id}?wait=30")
+    elapsed = time.time() - started
+    print(f"long-poll: HTTP {status}, state={job['state']} "
+          f"after {elapsed*1000:.0f}ms")
+    failures = []
+    if status != 200:
+        failures.append(f"long-poll answered HTTP {status}")
+    elif job["state"] not in ("done", "failed"):
+        failures.append(f"long-poll returned non-terminal state "
+                        f"{job['state']!r} despite wait=30")
+    if elapsed > 10.0:
+        failures.append(f"long-poll on a finished job took {elapsed:.1f}s")
+    return failures
+
+
+def check_keepalive(url: str, body: dict) -> list:
+    """Mixed POSTs + GET on one persistent connection stay in sync."""
+    parts = urllib.parse.urlsplit(url)
+    conn = http.client.HTTPConnection(
+        parts.hostname, parts.port or 80, timeout=30
+    )
+    sequence = [
+        ("POST", "/v1/runs", json.dumps(body).encode(), (200, 202)),
+        ("POST", "/v1/nowhere", json.dumps(body).encode(), (404,)),
+        ("POST", "/v1/runs", b"{definitely not json", (400,)),
+        ("GET", "/healthz", None, (200,)),
+    ]
+    failures = []
+    try:
+        sockets = set()
+        for method, path, payload, expected in sequence:
+            headers = ({"Content-Type": "application/json"}
+                       if payload else {})
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            answer = json.loads(response.read())
+            if response.status not in expected:
+                failures.append(
+                    f"keep-alive {method} {path}: HTTP {response.status} "
+                    f"(expected {expected}) body={answer}"
+                )
+            sockets.add(id(conn.sock))
+        if len(sockets) != 1:
+            failures.append(
+                "keep-alive connection was re-established mid-sequence"
+            )
+    except (http.client.HTTPException, OSError, json.JSONDecodeError) as exc:
+        failures.append(f"keep-alive sequence desynced: {exc!r}")
+    finally:
+        conn.close()
+    if not failures:
+        print(f"keep-alive: {len(sequence)} mixed requests on one "
+              "connection, all in sync")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -121,6 +188,9 @@ def main(argv=None) -> int:
         failures.append("warm record's cache key diverged from cold run")
     if warm["result"]["summary"] != cold_result["summary"]:
         failures.append("warm record's summary diverged from cold run")
+
+    failures.extend(check_long_poll(url, job["job_id"]))
+    failures.extend(check_keepalive(url, body))
 
     status, health = get(url, "/healthz")
     if health["queue"]["jobs"]["failed"]:
