@@ -3,11 +3,27 @@
 All times are in processor cycles (the paper assumes a 30 ns cycle).
 Defaults reproduce the paper's configuration exactly; experiments may
 override (e.g., the 1 MB-cache EM3D ablation of paper Table 16).
+
+Beyond the paper's CM-5-era table, two *presets* re-ask the paper's
+MP-vs-SM question on later hardware (ROADMAP scenario-diversity item):
+
+* :meth:`MachineParams.multicore` — a multicore-era table (grounded in
+  Hasta & Mutiara, PAPERS.md): cores share a die, so remote messages
+  cross an on-chip interconnect in tens of cycles, while DRAM costs
+  *more* cycles than in 1994 (the memory wall).
+* :meth:`MachineParams.cluster` — a cluster-of-multicores with
+  two-level communication cost (grounded in Task & Chauhan, PAPERS.md):
+  ``cluster_size`` cores per node talk at ``intra_cluster_latency``;
+  crossing nodes pays the full NIC + wire ``network_latency``.
+
+``cluster_size=1`` / ``intra_cluster_latency=None`` are inert: both
+machines then use the flat latency exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,12 +44,33 @@ class CommonParams:
     # TLB on a SPARC-like node). Only the shared-memory machine reports
     # TLB-miss time, matching the paper's tables.
     tlb_miss_cycles: int = 25
+    # Two-level topology (cluster preset). cluster_size=1 means flat:
+    # every distinct pair of processors is "remote" and pays
+    # network_latency, exactly the paper's machine.
+    cluster_size: int = 1
+    intra_cluster_latency: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cache_bytes % (self.block_bytes * self.cache_assoc) != 0:
             raise ValueError("cache size must be a multiple of assoc * block")
         if self.page_bytes % self.block_bytes != 0:
             raise ValueError("page size must be a multiple of block size")
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+
+    def message_latency(self, src: int, dest: int) -> int:
+        """Network cycles between two distinct processors.
+
+        Flat machines (``intra_cluster_latency=None``) always pay
+        ``network_latency``. Two-level machines pay the cheap on-node
+        latency when both processors sit in the same cluster.
+        """
+        if (
+            self.intra_cluster_latency is not None
+            and src // self.cluster_size == dest // self.cluster_size
+        ):
+            return self.intra_cluster_latency
+        return self.network_latency
 
     @property
     def cache_sets(self) -> int:
@@ -134,6 +171,50 @@ class MachineParams:
         """The paper's exact configuration."""
         return cls(common=CommonParams(num_processors=num_processors))
 
+    @classmethod
+    def multicore(cls, num_processors: int = 32) -> "MachineParams":
+        """A multicore-era table (Hasta & Mutiara grounding).
+
+        Cores share a die: remote messages cross an on-chip mesh in
+        ~30 cycles and barriers resolve on-chip, but a DRAM access —
+        10 cycles in the paper's 30 ns world — costs ~150 core cycles
+        behind a modern clock (the memory wall). Caches are larger and
+        local-miss detection is a longer pipeline.
+        """
+        return cls(
+            common=CommonParams(
+                num_processors=num_processors,
+                cache_bytes=1024 * 1024,
+                network_latency=30,
+                barrier_latency=30,
+                local_miss_cycles=20,
+                dram_cycles=150,
+            )
+        )
+
+    @classmethod
+    def cluster(cls, num_processors: int = 32) -> "MachineParams":
+        """A cluster of multicores with two-level latency (Task & Chauhan).
+
+        ``cluster_size`` cores per node keep the cheap on-chip latency
+        of the multicore table among themselves; any message that
+        crosses nodes pays a NIC + wire cost far above the CM-5's 100
+        cycles (a few microseconds at a modern clock). The barrier
+        spans nodes, so it pays the cross-node cost too.
+        """
+        return cls(
+            common=CommonParams(
+                num_processors=num_processors,
+                cache_bytes=1024 * 1024,
+                network_latency=600,
+                barrier_latency=600,
+                local_miss_cycles=20,
+                dram_cycles=150,
+                cluster_size=8,
+                intra_cluster_latency=30,
+            )
+        )
+
     def with_cache_bytes(self, cache_bytes: int) -> "MachineParams":
         """Copy with a different cache size (EM3D Table 16 ablation)."""
         return replace(self, common=replace(self.common, cache_bytes=cache_bytes))
@@ -142,3 +223,17 @@ class MachineParams:
         return replace(
             self, common=replace(self.common, num_processors=num_processors)
         )
+
+
+#: Named machine tables selectable via the ``preset=`` config channel.
+MACHINE_PRESETS: Tuple[str, ...] = ("paper", "multicore", "cluster")
+
+
+def machine_preset(name: str, num_processors: int = 32) -> MachineParams:
+    """Resolve a preset name to its :class:`MachineParams`."""
+    if name not in MACHINE_PRESETS:
+        raise ValueError(
+            f"unknown machine preset {name!r}; known: {list(MACHINE_PRESETS)}"
+        )
+    factory = getattr(MachineParams, name)
+    return factory(num_processors=num_processors)

@@ -36,6 +36,18 @@ Shared-memory invariants
   so any value that appears via a path the protocol did not serialize
   shows up as a mismatch on the next load.
 
+Relaxed machines (``consistency="tso"|"pc"``) adapt the data-value
+invariant to per-location coherence: the shadow is advanced at each
+store-buffer *commit* instant (the wrapped
+:meth:`~repro.sm.relaxed.StoreBufferDrain.commit`), every commit must
+respect per-location program order (CoWW / coherence order,
+``checks["coherence-order"]``), a load must return the committed shadow
+with the loader's *own* pending stores forwarded over it (exactly the
+TSO/PC load value), and quiescence additionally requires every store
+buffer to have drained dry (``checks["sb-quiescent"]``). SWMR and
+directory agreement are unchanged — drain commits go through the real
+protocol.
+
 Message-passing invariants
 --------------------------
 
@@ -132,7 +144,7 @@ def checking(checker: Optional["Checker"] = None) -> Iterator["Checker"]:
 class _SmState:
     """Per-attached-SM-machine monitor state."""
 
-    __slots__ = ("machine", "holders", "block_kind", "shadow")
+    __slots__ = ("machine", "holders", "block_kind", "shadow", "relaxed")
 
     def __init__(self, machine: Any) -> None:
         self.machine = machine
@@ -142,6 +154,8 @@ class _SmState:
         self.block_kind: Dict[int, str] = {}
         #: region name -> flat oracle copy of the region's memory.
         self.shadow: Dict[str, np.ndarray] = {}
+        #: True when the machine runs a non-SC memory model.
+        self.relaxed: bool = getattr(machine, "consistency", "sc") != "sc"
 
 
 class _MpState:
@@ -189,6 +203,11 @@ class Checker:
         self._sm.append(st)
         for node in machine.nodes:
             self._instrument_sm_cache(st, node.pid, node.cache)
+        if st.relaxed:
+            # Coherence order is enforced on every commit even with the
+            # oracle off; the shadow update inside is oracle-gated.
+            for ctx in machine.contexts:
+                self._instrument_sm_drain(st, ctx)
         if self.oracle:
             for ctx in machine.contexts:
                 self._instrument_sm_context(st, ctx)
@@ -316,16 +335,38 @@ class Checker:
         return region.segment is Segment.SHARED and region.protocol == "dir"
 
     def _check_loaded(
-        self, st: _SmState, pid: int, region: Any, where: Any, values: Any
+        self,
+        st: _SmState,
+        pid: int,
+        region: Any,
+        where: Any,
+        values: Any,
+        store_buffer: Any = None,
     ) -> None:
         """Compare loaded values against the oracle; ``where`` is a slice
-        start or an index array."""
+        start or an index array.
+
+        ``store_buffer`` (relaxed machines) is the loading processor's
+        own buffer: the expected value is then the *committed* shadow
+        with that buffer's pending stores forwarded over it — exactly
+        the value a TSO/PC load must return (per-location coherence,
+        CoRR included, without demanding a global store order).
+        """
         shadow = self._shadow(st, region)
         got = np.asarray(values).reshape(-1)
         if isinstance(where, np.ndarray):
             expect = shadow[where]
         else:
             expect = shadow[where : where + got.size]
+        if store_buffer is not None and store_buffer.has_pending_for(region):
+            if isinstance(where, np.ndarray):
+                expect = store_buffer.apply_pending_gather(
+                    region, where, np.array(expect)
+                )
+            else:
+                expect = store_buffer.apply_pending(
+                    region, where, where + got.size, np.array(expect)
+                )
         self.checks["data-value"] += 1
         bad = np.flatnonzero(_mismatch_mask(got, expect))
         if bad.size:
@@ -344,6 +385,11 @@ class Checker:
     def _instrument_sm_context(self, st: _SmState, ctx: Any) -> None:
         checker = self
         pid = ctx.pid
+        # Relaxed contexts buffer tracked stores: memory (and hence the
+        # shadow) advances at the drain's commit instants — wrapped in
+        # _instrument_sm_drain — not at write() completion, and loads
+        # are judged with the loader's own pending stores forwarded.
+        store_buffer = getattr(ctx, "store_buffer", None) if st.relaxed else None
         orig_read = ctx.read
         orig_read_gather = ctx.read_gather
         orig_write = ctx.write
@@ -362,7 +408,9 @@ class Checker:
                 checker._shadow(st, region)
             values = yield from orig_read(region, start, stop, **kwargs)
             if tracked:
-                checker._check_loaded(st, pid, region, start, values)
+                checker._check_loaded(
+                    st, pid, region, start, values, store_buffer=store_buffer
+                )
             return values
 
         def read_gather(region, indices):
@@ -372,7 +420,9 @@ class Checker:
             values = yield from orig_read_gather(region, indices)
             if tracked:
                 idx = np.asarray(indices, dtype=np.int64)
-                checker._check_loaded(st, pid, region, idx, values)
+                checker._check_loaded(
+                    st, pid, region, idx, values, store_buffer=store_buffer
+                )
             return values
 
         def write(region, start=0, stop=None, values=None, **kwargs):
@@ -382,7 +432,7 @@ class Checker:
             result = yield from orig_write(
                 region, start, stop, values=values, **kwargs
             )
-            if tracked:
+            if tracked and store_buffer is None:
                 end = start + np.asarray(values).size if values is not None else stop
                 shadow = checker._shadow(st, region)
                 shadow[start:end] = region.np.reshape(-1)[start:end]
@@ -393,7 +443,7 @@ class Checker:
             if tracked:
                 checker._shadow(st, region)
             result = yield from orig_write_scatter(region, indices, values)
-            if tracked:
+            if tracked and store_buffer is None:
                 idx = np.asarray(indices, dtype=np.int64)
                 shadow = checker._shadow(st, region)
                 shadow[idx] = region.np.reshape(-1)[idx]
@@ -436,11 +486,69 @@ class Checker:
         ctx.atomic_swap = atomic_swap
         ctx.atomic_cas = atomic_cas
 
+    # -- shared-memory: relaxed commit order + shadow advance ----------------
+
+    def _instrument_sm_drain(self, st: _SmState, ctx: Any) -> None:
+        """Wrap a relaxed context's drain commit (the visibility instant).
+
+        Two duties: (a) *coherence order* — no entry may commit while an
+        older pending store to an overlapping location exists (per-location
+        program order; this is what keeps CoWW intact under both TSO and
+        PC); (b) with the oracle on, advance the shadow with the committed
+        values, since the write() wrapper deliberately did not.
+        """
+        checker = self
+        drain = ctx.drain
+        store_buffer = ctx.store_buffer
+        orig_commit = drain.commit
+
+        def commit(entry: Any) -> None:
+            checker.checks["coherence-order"] += 1
+            if not store_buffer.is_oldest_conflicting(entry):
+                raise CheckError(
+                    "coherence-order",
+                    f"node {ctx.pid} committed {entry.describe()} while an "
+                    f"older pending store to the same location existed "
+                    f"(per-location program order / CoWW violated)",
+                    node=ctx.pid,
+                )
+            orig_commit(entry)
+            if (
+                checker.oracle
+                and entry.values is not None
+                and checker._oracle_region(entry.region)
+            ):
+                shadow = checker._shadow(st, entry.region)
+                if entry.indices is None:
+                    shadow[entry.start : entry.start + entry.values.size] = (
+                        entry.values
+                    )
+                else:
+                    shadow[entry.indices] = entry.values
+
+        drain.commit = commit
+
     # -- shared-memory: quiescent directory/cache agreement ------------------
 
     def verify_sm_quiescent(self, st: _SmState) -> None:
         """End-of-run sweep: directories and caches agree, oracle matches."""
         machine = st.machine
+        if st.relaxed:
+            for ctx in machine.contexts:
+                store_buffer = getattr(ctx, "store_buffer", None)
+                if store_buffer is None:
+                    continue
+                self.checks["sb-quiescent"] += 1
+                if len(store_buffer):
+                    pending = ", ".join(
+                        e.describe() for e in store_buffer.entries
+                    )
+                    raise CheckError(
+                        "sb-quiescent",
+                        f"node {ctx.pid} ended the run with "
+                        f"{len(store_buffer)} uncommitted store(s): {pending}",
+                        node=ctx.pid,
+                    )
         for block, holders in st.holders.items():
             if not holders:
                 continue

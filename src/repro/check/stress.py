@@ -116,21 +116,37 @@ def run_sm_stress(
     nprocs: int = 4,
     checker: Optional[check.Checker] = None,
     backend: str = "batched",
+    consistency: str = "sc",
 ) -> Dict[str, int]:
-    """Random load/store/lock stress on the SM machine under the checker."""
+    """Random load/store/lock stress on the SM machine under the checker.
+
+    Under ``consistency="tso"|"pc"`` the same schedules run through the
+    store-buffered machine and the monitor's *relaxed* oracle: loads are
+    judged against the committed shadow with the loader's own pending
+    stores forwarded (per-location coherence — CoRR/CoWW still enforced
+    at every drain commit), and end-of-run quiescence additionally
+    requires every store buffer to have drained dry. The MCS-protected
+    counter must still be exact: lock release fences, so mutual
+    exclusion survives relaxation by construction.
+    """
     schedule = _sm_schedule(ops, seed, nprocs)
     if checker is None and not check.active().enabled:
         with check.checking() as checker:
-            return _run_sm_stress(schedule, seed, nprocs, checker, backend)
+            return _run_sm_stress(
+                schedule, seed, nprocs, checker, backend, consistency
+            )
     active = checker if checker is not None else check.active()
-    return _run_sm_stress(schedule, seed, nprocs, active, backend)
+    return _run_sm_stress(schedule, seed, nprocs, active, backend, consistency)
 
 
-def _run_sm_stress(schedule, seed, nprocs, checker, backend="batched") -> Dict[str, int]:
+def _run_sm_stress(
+    schedule, seed, nprocs, checker, backend="batched", consistency="sc"
+) -> Dict[str, int]:
     machine = SmMachine(
         MachineParams.paper(num_processors=nprocs),
         seed=2718 + seed,
         backend=backend,
+        consistency=consistency,
     )
     region = machine.space.alloc_shared(
         "stress.data", owner=0, shape=_SM_REGION_ELEMS, dtype=np.float64

@@ -126,13 +126,34 @@ def cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"repro run: error: {exc.args[0]}", file=sys.stderr)
         return 2
-    # --backend flows through the standard override channel, so cached
-    # records stay keyed (and honest) per backend.
-    overrides = (
-        {exp_id: {"backend": args.backend} for exp_id in exp_ids}
-        if args.backend
-        else None
-    )
+    if _reject_unknown_consistency(args.consistency, "repro run"):
+        return 2
+    if args.preset is not None:
+        from repro.arch.params import MACHINE_PRESETS
+
+        if args.preset not in MACHINE_PRESETS:
+            from repro.runner.config import suggest
+
+            print(
+                f"repro run: error: unknown preset {args.preset!r}"
+                f"{suggest(args.preset, MACHINE_PRESETS)}; "
+                f"known: {sorted(MACHINE_PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+    # --backend/--consistency/--preset flow through the standard
+    # override channel, so cached records stay keyed (and honest) per
+    # backend, memory model, and machine table.
+    common = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("consistency", getattr(args, "consistency", None)),
+            ("preset", getattr(args, "preset", None)),
+        )
+        if value
+    }
+    overrides = {exp_id: dict(common) for exp_id in exp_ids} if common else None
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if args.check:
         # The checker instruments machine instances, so checked runs must
@@ -433,35 +454,100 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reject_unknown_consistency(value: Optional[str], prog: str) -> bool:
+    """Print a did-you-mean usage error for a bad memory-model name.
+
+    Returns True when the value is unknown (the caller then exits 2:
+    a typo must be a usage error, never a silently skipped shape).
+    """
+    from repro.arch.write_buffer import MEMORY_MODELS
+
+    if value is None or value in MEMORY_MODELS:
+        return False
+    from repro.runner.config import suggest
+
+    print(
+        f"{prog}: error: unknown consistency {value!r}"
+        f"{suggest(value, MEMORY_MODELS)}; known: {sorted(MEMORY_MODELS)}",
+        file=sys.stderr,
+    )
+    return True
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.check.errors import CheckError
-    from repro.check.litmus import LITMUS_TESTS, run_suite
+    from repro.check.litmus import LITMUS_TESTS, run_matrix, run_suite
     from repro.check.stress import run_mp_stress, run_sm_stress
 
-    # Default: everything. `--litmus` or `--stress N` narrows the run.
-    do_litmus = args.litmus or args.stress is None
-    do_stress = (args.stress is not None) or not args.litmus
+    if _reject_unknown_consistency(args.consistency, "repro check"):
+        return 2
+    consistency = args.consistency or "sc"
+    # Default: everything. `--litmus`, `--matrix`, or `--stress N`
+    # narrows the run.
+    do_matrix = args.matrix
+    do_litmus = not do_matrix and (args.litmus or args.stress is None)
+    do_stress = not do_matrix and ((args.stress is not None) or not args.litmus)
     ops = args.stress if args.stress is not None else 500
     failures = 0
+
+    if do_matrix:
+        seeds = tuple(range(args.seed, args.seed + args.litmus_seeds))
+        try:
+            rows = run_matrix(seeds=seeds, backend=args.backend)
+        except CheckError as exc:
+            print(f"  [FAIL] litmus matrix: {exc}")
+            failures += 1
+        else:
+            width = max(len(row["test"]) for row in rows)
+            for row in rows:
+                seen = (
+                    f"relaxed outcome observed {row['relaxed_observed']}x"
+                    if row["relaxed_observed"]
+                    else "relaxed outcome never observed"
+                )
+                print(
+                    f"  [PASS] {row['model']:<4} {row['test']:<{width}} "
+                    f"{row['expected']:<10} {row['runs']:>3} runs, {seen}"
+                )
+            print(
+                f"  litmus matrix: {len(rows)} cells "
+                f"({args.backend} backend), every verdict held"
+            )
 
     if do_litmus:
         seeds = tuple(range(args.seed, args.seed + args.litmus_seeds))
         for test in LITMUS_TESTS:
             try:
-                observed = run_suite([test], seeds=seeds)[test.name]
+                observed = run_suite(
+                    [test],
+                    seeds=seeds,
+                    backend=args.backend,
+                    consistency=consistency,
+                )[test.name]
             except CheckError as exc:
                 print(f"  [FAIL] litmus {test.name}: {exc}")
                 failures += 1
                 continue
+            verdict = (
+                "relaxed outcome observed (permitted)"
+                if consistency in test.permitted_under
+                else "forbidden outcome never observed"
+            )
             print(
                 f"  [PASS] litmus {test.name}: {len(observed)} distinct "
-                f"outcome(s) over {sum(observed.values())} runs, forbidden "
-                f"outcome never observed"
+                f"outcome(s) over {sum(observed.values())} runs "
+                f"(consistency={consistency}), {verdict}"
             )
 
     if do_stress:
         try:
-            report = run_sm_stress(ops=ops, seed=args.seed, nprocs=args.nprocs)
+            report = run_sm_stress(
+                ops=ops,
+                seed=args.seed,
+                nprocs=args.nprocs,
+                backend=args.backend,
+                consistency=consistency,
+            )
         except CheckError as exc:
             print(f"  [FAIL] sm stress: {exc}")
             failures += 1
@@ -474,7 +560,10 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
         try:
             report = run_mp_stress(
-                ops=max(1, ops // 2), seed=args.seed, nprocs=args.nprocs
+                ops=max(1, ops // 2),
+                seed=args.seed,
+                nprocs=args.nprocs,
+                backend=args.backend,
             )
         except CheckError as exc:
             print(f"  [FAIL] mp stress: {exc}")
@@ -583,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="execution backend override for every "
                                  "requested experiment (default: each "
                                  "config's own, normally batched)")
+    run_parser.add_argument("--consistency", metavar="MODEL", default=None,
+                            help="memory-model override for every requested "
+                                 "experiment: sc (default, the paper's "
+                                 "machine), tso, or pc")
+    run_parser.add_argument("--preset", metavar="TABLE", default=None,
+                            help="machine-table override for every requested "
+                                 "experiment: paper (default), multicore, "
+                                 "or cluster")
     run_parser.set_defaults(handler=cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -670,6 +767,18 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="K",
                               help="jitter seeds per litmus shape "
                                    "(default: 6)")
+    check_parser.add_argument("--consistency", metavar="MODEL", default=None,
+                              help="memory model for litmus/SM-stress runs: "
+                                   "sc (default), tso, or pc; unknown names "
+                                   "are a usage error, never a skip")
+    check_parser.add_argument("--matrix", action="store_true",
+                              help="run the full model x shape litmus "
+                                   "verdict matrix (every model, both "
+                                   "verdict directions)")
+    check_parser.add_argument("--backend", choices=("batched", "reference"),
+                              default="batched",
+                              help="execution backend for litmus/stress "
+                                   "machines (default: batched)")
     check_parser.set_defaults(handler=cmd_check)
 
     cache_parser = subparsers.add_parser(

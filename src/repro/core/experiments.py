@@ -67,6 +67,11 @@ class ExperimentSpec:
     #: executor co-locates them in one worker so the in-process memo
     #: serves the comparison.
     after: Tuple[str, ...] = ()
+    #: Check names that pin claims specific to the paper's 1994 machine
+    #: (latency/overhead ratios that legitimately flip under the modern
+    #: presets). Waived — recorded as passing with a "waived" detail —
+    #: when the run's ``preset`` is not ``"paper"``.
+    paper_only: Tuple[str, ...] = ()
 
 
 def get_experiment(exp_id: str) -> ExperimentSpec:
@@ -216,7 +221,7 @@ VALIDATION_CONFIG = ExperimentConfig(exp_id="validation", procs=2, seed=_SEED)
 def run_mse_pair(config: ExperimentConfig) -> PairResult:
     params = config.machine_params()
     mp_result, _x = run_mse_mp(MpMachine(params, seed=config.seed, backend=config.backend), config.app)
-    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=config.seed, backend=config.backend), config.app)
+    sm_result, _x2 = run_mse_sm(SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency), config.app)
     return PairResult(
         name="MSE", mp_result=mp_result, sm_result=sm_result,
         phases=["init", "main"],
@@ -226,7 +231,7 @@ def run_mse_pair(config: ExperimentConfig) -> PairResult:
 def run_gauss_pair(config: ExperimentConfig) -> PairResult:
     params = config.machine_params()
     mp_result, _x = run_gauss_mp(MpMachine(params, seed=config.seed, backend=config.backend), config.app)
-    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=config.seed, backend=config.backend), config.app)
+    sm_result, _x2 = run_gauss_sm(SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency), config.app)
     extra = {"directory_queue_delay": sm_result.machine.directory_contention()}
     return PairResult(
         name="Gauss", mp_result=mp_result, sm_result=sm_result,
@@ -261,7 +266,7 @@ def run_gauss_contention(config: ExperimentConfig) -> Dict[int, Dict[str, float]
     results: Dict[int, Dict[str, float]] = {}
     for nprocs in config.opt("proc_counts", (4, 8, 16)):
         machine = SmMachine(
-            config.machine_params(procs=nprocs), seed=config.seed, backend=config.backend
+            config.machine_params(procs=nprocs), seed=config.seed, backend=config.backend, consistency=config.consistency
         )
         run, _x = run_gauss_sm(machine, config.app)
         board = run.board
@@ -283,7 +288,7 @@ def run_em3d_pair(config: ExperimentConfig) -> PairResult:
         MpMachine(params, seed=config.seed, backend=config.backend), config.app
     )
     sm_result, _e2, _h2 = run_em3d_sm(
-        SmMachine(params, seed=config.seed, backend=config.backend, allocation_policy=policy), config.app
+        SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency, allocation_policy=policy), config.app
     )
     return PairResult(
         name="EM3D", mp_result=mp_result, sm_result=sm_result,
@@ -304,7 +309,7 @@ def run_em3d_protocols(config: ExperimentConfig) -> Dict[str, Any]:
     )
     results: Dict[str, Any] = {"mp": mp_result}
     for variant in config.opt("variants", ("base", "flush", "update")):
-        machine = SmMachine(params, seed=config.seed, backend=config.backend)
+        machine = SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency)
         sm_result, _e2, _h2 = run_em3d_sm(machine, config.app, variant=variant)
         results[variant] = sm_result
     return results
@@ -317,7 +322,7 @@ def run_lcp_pair(config: ExperimentConfig) -> PairResult:
         MpMachine(params, seed=config.seed, backend=config.backend), config.app, asynchronous=asynchronous
     )
     sm_result, _z2, sm_steps = run_lcp_sm(
-        SmMachine(params, seed=config.seed, backend=config.backend), config.app, asynchronous=asynchronous
+        SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency), config.app, asynchronous=asynchronous
     )
     return PairResult(
         name="ALCP" if asynchronous else "LCP",
@@ -358,9 +363,11 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
 
     mp_machine.run(mp_program)
     mp = mp_machine.params.mp
+    # Topology-aware: the ping crosses 0 -> 1, which is an on-node hop
+    # under the cluster preset (flat machines: == network_latency).
     expected = (
         mp.lib_am_send_cycles + mp.send_packet_cycles
-        + mp_machine.params.common.network_latency
+        + mp_machine.params.common.message_latency(0, 1)
         + mp.ni_status_cycles + mp.recv_packet_cycles + mp.lib_am_handler_cycles
     )
     checks["am_one_way"] = {
@@ -384,7 +391,7 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
     }
 
     # Shared memory: remote miss to idle data (the paper's ~250 cycles).
-    sm_machine = SmMachine(params, seed=config.seed, backend=config.backend)
+    sm_machine = SmMachine(params, seed=config.seed, backend=config.backend, consistency=config.consistency)
     miss = {}
 
     def sm_program(ctx):
@@ -401,8 +408,10 @@ def run_validation_micro(config: ExperimentConfig) -> Dict[str, Dict[str, float]
     common = sm_machine.params.common
     # 19 + 100 + (10 + dram + 5 + 8) + 100, ignoring TLB (measured run
     # includes a TLB miss; keep it in the measured-vs-expected margin).
+    # Both hops are 1 <-> 0 (the region is homed at processor 0), so the
+    # expectation uses the same two-level latency the machine charges.
     expected_miss = (
-        sm.shared_miss_cycles + 2 * common.network_latency
+        sm.shared_miss_cycles + 2 * common.message_latency(0, 1)
         + sm.directory_base_cycles + common.dram_cycles
         + sm.directory_send_msg_cycles + sm.directory_send_block_cycles
     )
@@ -680,6 +689,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             config=GAUSS_COLLECTIVES_CONFIG,
             shape=_collectives_shape,
             paper={"flat_M": 119.3, "binary_M": 40.9, "lopsided_M": 30.1},
+            # The lop-sided tree's edge over binary depends on the
+            # CM-5's send-overhead/latency ratio; the cluster preset's
+            # cheap on-node hops flip it.
+            paper_only=("lop-sided beats binary",),
         ),
         ExperimentSpec(
             id="gauss_contention",
@@ -737,6 +750,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             shape=_em3d_localalloc_shape,
             paper={"sm_main_Mcycles": 86.3, "remote_fraction": 0.10},
             after=("em3d",),
+            # Local allocation's speedup trades remote misses for DRAM
+            # accesses; the modern presets' memory wall (dram_cycles
+            # 150 vs 10) erases the win even as the remote fraction
+            # still collapses.
+            paper_only=("main loop faster",),
         ),
         ExperimentSpec(
             id="em3d_protocols",

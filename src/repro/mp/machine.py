@@ -122,7 +122,7 @@ class MpMachine:
         """Network delivery: the packet lands after the network latency."""
         if not 0 <= packet.dest < self.nprocs:
             raise ValueError(f"bad destination {packet.dest}")
-        latency = self.params.common.network_latency
+        latency = self.params.common.message_latency(packet.src, packet.dest)
         # Bare continuation: deliveries are never cancelled, so the
         # handle-free path keeps the same (time, seq) ordering without
         # allocating a ScheduledAction.

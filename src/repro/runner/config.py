@@ -23,7 +23,13 @@ import difflib
 from dataclasses import asdict, dataclass, fields, is_dataclass, replace
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-from repro.arch.params import CommonParams, MachineParams
+from repro.arch.params import (
+    MACHINE_PRESETS,
+    CommonParams,
+    MachineParams,
+    machine_preset,
+)
+from repro.arch.write_buffer import MEMORY_MODELS
 
 #: CommonParams fields a config may override via the ``machine`` channel.
 #: ``num_processors`` and ``cache_bytes`` are excluded: they have
@@ -70,6 +76,18 @@ class ExperimentConfig:
     suite), so the choice only affects wall-clock speed — but it is
     still part of the cache key, keeping records honest about how they
     were produced.
+
+    ``consistency`` selects the shared-memory machine's memory model:
+    ``"sc"`` (default) is the paper's sequentially consistent machine,
+    bit-identical to the pre-relaxation code path; ``"tso"`` retires
+    shared stores through a per-processor FIFO store buffer;
+    ``"pc"`` additionally relaxes cross-variable commit order
+    (partition consistency). Unlike ``backend``, the model *changes
+    simulated results*, so it is both validated and cache-keyed.
+
+    ``preset`` picks the machine table the config starts from:
+    ``"paper"`` (Tables 1-3), ``"multicore"``, or ``"cluster"`` (see
+    :mod:`repro.arch.params`); ``machine`` overrides then apply on top.
     """
 
     exp_id: str
@@ -80,6 +98,8 @@ class ExperimentConfig:
     options: Tuple[Tuple[str, Any], ...] = ()
     machine: Tuple[Tuple[str, Any], ...] = ()
     backend: str = "batched"
+    consistency: str = "sc"
+    preset: str = "paper"
 
     def __post_init__(self) -> None:
         if self.backend not in ("reference", "batched"):
@@ -87,6 +107,18 @@ class ExperimentConfig:
                 f"unknown backend {self.backend!r}"
                 f"{suggest(self.backend, ['reference', 'batched'])}; "
                 "known: ['batched', 'reference']"
+            )
+        if self.consistency not in MEMORY_MODELS:
+            raise ValueError(
+                f"unknown consistency {self.consistency!r}"
+                f"{suggest(self.consistency, MEMORY_MODELS)}; "
+                f"known: {sorted(MEMORY_MODELS)}"
+            )
+        if self.preset not in MACHINE_PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r}"
+                f"{suggest(self.preset, MACHINE_PRESETS)}; "
+                f"known: {sorted(MACHINE_PRESETS)}"
             )
         object.__setattr__(
             self, "options", tuple(sorted((str(k), v) for k, v in self.options))
@@ -112,8 +144,8 @@ class ExperimentConfig:
         return dict(self.options)
 
     def machine_params(self, procs: Optional[int] = None) -> MachineParams:
-        """The resolved machine for this run (paper's Tables 1-3 base)."""
-        params = MachineParams.paper(num_processors=procs or self.procs)
+        """The resolved machine for this run (``preset`` table + overrides)."""
+        params = machine_preset(self.preset, num_processors=procs or self.procs)
         if self.machine:
             params = replace(
                 params, common=replace(params.common, **dict(self.machine))
@@ -170,9 +202,11 @@ class ExperimentConfig:
 
         Includes the resolved machine parameters so that a change to
         any Table 1-3 default invalidates cached results even without
-        a code-salt bump. The ``machine`` override tuple needs no entry
-        of its own: its effect is entirely contained in the resolved
-        parameters, so two spellings of the same machine share a key.
+        a code-salt bump. The ``machine`` override tuple and ``preset``
+        need no entries of their own: their effect is entirely contained
+        in the resolved parameters, so two spellings of the same machine
+        share a key. ``consistency`` changes execution semantics beyond
+        the parameter tables, so it is keyed explicitly.
         """
         return {
             "exp_id": self.exp_id,
@@ -183,6 +217,7 @@ class ExperimentConfig:
             "options": _jsonable(dict(self.options)),
             "machine": asdict(self.machine_params()),
             "backend": self.backend,
+            "consistency": self.consistency,
         }
 
 

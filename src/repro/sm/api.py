@@ -246,9 +246,20 @@ class SmContext:
         return sm.replacement_shared_clean_cycles
 
     def _shared_transaction(
-        self, region: Region, block: int, write: bool, upgrade: bool = False
+        self,
+        region: Region,
+        block: int,
+        write: bool,
+        upgrade: bool = False,
+        charge: bool = True,
     ) -> Generator:
-        """One coherence transaction: miss (GETS/GETX) or upgrade."""
+        """One coherence transaction: miss (GETS/GETX) or upgrade.
+
+        ``charge=False`` runs the full protocol (directory occupancy,
+        invalidation rounds, wire bytes) but skips the processor-side
+        cycle charges and miss/fault counts — used by the relaxed
+        store-buffer drain, whose commits do not stall the processor.
+        """
         sm = self.params.sm
         home = region.home_of_block(block)
         self.machine.block_home[block] = home
@@ -297,6 +308,8 @@ class SmContext:
             )
         if repl:
             yield delay_of(repl)
+        if not charge:
+            return
         elapsed = engine._now - start
         if upgrade:
             self.stats.count("write_faults")
@@ -543,6 +556,18 @@ class SmContext:
                 self.stats.charge(SmCat.COMPUTE, waited)
 
     # -- synchronization ----------------------------------------------------------------
+
+    def fence(self) -> Generator:
+        """Store fence: wait until this processor's stores are visible.
+
+        Sequential consistency commits every store before the storing
+        instruction completes, so the fence is free — it returns without
+        touching the engine at all (the ``sc`` path stays bit-identical).
+        :class:`~repro.sm.relaxed.RelaxedSmContext` overrides this to
+        drain its store buffer.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator function
 
     def barrier(self) -> Generator:
         """Hardware barrier; wait time charged to Barriers."""

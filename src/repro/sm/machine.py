@@ -16,6 +16,7 @@ from repro.arch.barrier import HardwareBarrier
 from repro.arch.cache import Cache
 from repro.arch.costs import CostModel
 from repro.arch.params import MachineParams
+from repro.arch.write_buffer import MEMORY_MODELS
 from repro.arch.tlb import Tlb
 from repro.memory.dataspace import DataSpace, HomePolicy, Region
 from repro.sim.engine import Engine
@@ -96,12 +97,19 @@ class SmMachine:
         costs: Optional[CostModel] = None,
         allocation_policy: HomePolicy = HomePolicy.ROUND_ROBIN,
         backend: str = "batched",
+        consistency: str = "sc",
     ) -> None:
         if backend not in ("reference", "batched"):
             raise ValueError(
                 f"unknown backend {backend!r}; use 'reference' or 'batched'"
             )
+        if consistency not in MEMORY_MODELS:
+            raise ValueError(
+                f"unknown consistency {consistency!r}; "
+                f"known: {list(MEMORY_MODELS)}"
+            )
         self.backend = backend
+        self.consistency = consistency
         self.params = params or MachineParams.paper()
         self.costs = costs or CostModel()
         self.engine = Engine()
@@ -116,7 +124,15 @@ class SmMachine:
         self.nodes = [SmNode(self, pid) for pid in range(self.nprocs)]
         self.directories = [Directory(self, pid) for pid in range(self.nprocs)]
         self.cache_ctrls = [CacheCtrl(self, pid) for pid in range(self.nprocs)]
-        context_cls = BatchedSmContext if backend == "batched" else SmContext
+        if consistency != "sc":
+            # Relaxed models need per-op store buffering, so both
+            # backends run the scalar relaxed context (batched bulk
+            # steps assume SC visibility).
+            from repro.sm.relaxed import RelaxedSmContext
+
+            context_cls = RelaxedSmContext
+        else:
+            context_cls = BatchedSmContext if backend == "batched" else SmContext
         self.contexts = [context_cls(self, pid) for pid in range(self.nprocs)]
         self.block_home: Dict[int, int] = {}
         # Blocks with a prefetch outstanding (Section 5.3.4 extension).
@@ -133,10 +149,15 @@ class SmMachine:
     # -- topology ---------------------------------------------------------------
 
     def latency(self, src: int, dest: int) -> int:
-        """Message latency: 10 cycles to self, 100 remote (Tables 1/3)."""
+        """Message latency: 10 cycles to self, 100 remote (Tables 1/3).
+
+        Two-level presets (``cluster``) make the remote cost depend on
+        whether the pair shares a cluster; the paper's flat machine is
+        the ``intra_cluster_latency=None`` special case.
+        """
         if src == dest:
             return self.params.sm.self_message_cycles
-        return self.params.common.network_latency
+        return self.params.common.message_latency(src, dest)
 
     def is_shared_block(self, addr: int) -> bool:
         """Is this address in the shared segment (vs. node-private)?"""

@@ -66,6 +66,10 @@ class McsLock:
         """Pass the lock to the successor (or free it)."""
         me = ctx.pid
         with ctx.stats.context("lock"):
+            # Relaxed models: the hand-off write below must not become
+            # visible before the critical section's stores — the woken
+            # successor would read stale data. SC's fence is free.
+            yield from ctx.fence()
             successor = yield from ctx.read(self.qnodes, me * 4, me * 4 + 1)
             nxt = int(successor[0])
             if nxt == -1:

@@ -4,7 +4,8 @@ An *axis* is anything :meth:`ExperimentConfig.with_overrides` accepts,
 addressed by a flat name:
 
 * top-level config fields — ``procs``, ``seed``, ``cache_bytes`` (and
-  the convenience alias ``cache_kb``);
+  the convenience alias ``cache_kb``), plus the categorical channels
+  ``consistency`` (sc/tso/pc) and ``preset`` (paper/multicore/cluster);
 * machine knobs — any overridable
   :class:`~repro.arch.params.CommonParams` field (``network_latency``,
   ``block_bytes``, ``tlb_entries``, ``page_bytes``, ...), with
@@ -35,7 +36,10 @@ ALIASES = {
 }
 
 #: Top-level ExperimentConfig fields addressable as axes.
-_TOP_LEVEL = ("procs", "seed", "cache_bytes")
+#: ``consistency`` (sc/tso/pc) and ``preset`` (paper/multicore/cluster)
+#: are categorical: sweeping them re-asks a spec's question across
+#: memory models or machine tables.
+_TOP_LEVEL = ("procs", "seed", "cache_bytes", "consistency", "preset")
 
 #: Mapping-valued override channels, deep-merged by merge_overrides.
 _MERGED_CHANNELS = ("app", "options", "machine")

@@ -16,6 +16,10 @@ in CI):
   monotonically through eight processors on a fixed problem, and the
   SM version overtakes MP as broadcast traffic grows with the
   processor count.
+* ``em3d-modern`` — the ROADMAP's scenario-diversity question: does
+  EM3D's MP win survive machines the paper never saw? The ``preset``
+  axis re-runs the pair on the multicore-era and cluster-of-multicores
+  tables (see :mod:`repro.arch.params`).
 
 The grids are deliberately coarse; ``repro sweep <name> --axis ...``
 widens any axis without touching this file.
@@ -48,6 +52,38 @@ def _check_em3d_latency(result: Any) -> List[SweepCheck]:
             "mp wins at every swept latency (ratio stays above 1)",
             min(ratio) > 1.0,
             f"min sm_over_mp = {min(ratio):.3f}",
+        ),
+    ]
+
+
+#: EM3D at 16 processors: enough to span two 8-core clusters on the
+#: ``cluster`` preset, so the cross-node latency actually bites.
+_EM3D_MODERN: Dict[str, Any] = {
+    "procs": 16,
+    "app": {"nodes_per_proc": 16, "degree": 4, "iterations": 3},
+}
+
+
+def _check_em3d_modern(result: Any) -> List[SweepCheck]:
+    xs, ratio = result.series("sm_over_mp")
+    by_preset = dict(zip(xs, ratio))
+    return [
+        (
+            "mp wins em3d on every machine table (ratio stays above 1)",
+            min(ratio) > 1.0,
+            f"min sm_over_mp = {min(ratio):.3f}",
+        ),
+        (
+            "the memory wall widens mp's win on the multicore table",
+            by_preset["multicore"] > by_preset["paper"],
+            f"paper {by_preset['paper']:.2f} -> "
+            f"multicore {by_preset['multicore']:.2f}",
+        ),
+        (
+            "cross-node latency widens it further on the cluster table",
+            by_preset["cluster"] > by_preset["multicore"],
+            f"multicore {by_preset['multicore']:.2f} -> "
+            f"cluster {by_preset['cluster']:.2f}",
         ),
     ]
 
@@ -147,6 +183,23 @@ SWEEP_SPECS: Dict[str, SweepSpec] = {
             ),
             checks=_check_gauss_speedup,
             derive=_derive_speedups,
+        ),
+        SweepSpec(
+            name="em3d-modern",
+            exp_id="em3d",
+            description=(
+                "EM3D across machine generations: the paper's CM-5 "
+                "table, a multicore-era table (on-chip network, memory "
+                "wall), and a cluster of multicores with two-level "
+                "latency. The memory wall makes SM's remote misses "
+                "dearer while MP's split-phase sends keep hiding "
+                "latency, so MP's 1994 win survives — and grows — on "
+                "modern parameters."
+            ),
+            axes=(("preset", ("paper", "multicore", "cluster")),),
+            metrics=("mp_total", "sm_total", "sm_over_mp"),
+            base_overrides=_EM3D_MODERN,
+            checks=_check_em3d_modern,
         ),
     )
 }

@@ -75,3 +75,57 @@ def test_with_processors_override():
 def test_invalid_cache_geometry_rejected():
     with pytest.raises(ValueError):
         CommonParams(cache_bytes=1000)  # not a multiple of assoc * block
+
+
+# -- machine presets and two-level topology ----------------------------------
+
+
+def test_machine_presets_registry():
+    from repro.arch.params import MACHINE_PRESETS, machine_preset
+
+    assert MACHINE_PRESETS == ("paper", "multicore", "cluster")
+    for name in MACHINE_PRESETS:
+        params = machine_preset(name, num_processors=16)
+        assert params.common.num_processors == 16
+    with pytest.raises(ValueError, match="unknown machine preset"):
+        machine_preset("cray")
+
+
+def test_paper_preset_is_the_paper_machine():
+    from repro.arch.params import machine_preset
+
+    assert machine_preset("paper") == MachineParams.paper()
+
+
+def test_multicore_preset_shape():
+    """On-chip network is cheap; DRAM is dear (the memory wall)."""
+    paper = MachineParams.paper().common
+    multi = MachineParams.multicore().common
+    assert multi.network_latency < paper.network_latency
+    assert multi.dram_cycles > paper.dram_cycles
+    assert multi.cache_bytes > paper.cache_bytes
+    # Flat topology: no two-level latency.
+    assert multi.intra_cluster_latency is None
+
+
+def test_cluster_preset_two_level_latency():
+    c = MachineParams.cluster().common
+    assert c.cluster_size == 8
+    assert c.intra_cluster_latency is not None
+    # Same cluster: cheap on-chip cost; cross-cluster: the full wire.
+    assert c.message_latency(0, 7) == c.intra_cluster_latency
+    assert c.message_latency(0, 8) == c.network_latency
+    assert c.message_latency(8, 15) == c.intra_cluster_latency
+    assert c.message_latency(7, 8) == c.network_latency
+
+
+def test_flat_message_latency_matches_network_latency():
+    """cluster_size=1 / intra=None is inert: the paper's flat machine."""
+    c = MachineParams.paper().common
+    for src, dest in ((0, 1), (0, 31), (5, 6)):
+        assert c.message_latency(src, dest) == c.network_latency
+
+
+def test_bad_cluster_size_rejected():
+    with pytest.raises(ValueError, match="cluster_size"):
+        CommonParams(cluster_size=0)

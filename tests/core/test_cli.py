@@ -98,3 +98,50 @@ def test_parser_run_flags():
     )
     assert args.all and args.jobs == 4 and args.json == "out.json"
     assert args.force and not args.no_cache
+
+
+# -- memory-model and machine-preset flags -----------------------------------
+
+
+def test_check_unknown_consistency_is_usage_error(capsys):
+    """A typo'd model name must be a did-you-mean usage error (exit 2),
+    never a silently skipped shape (exit 0)."""
+    assert main(["check", "--litmus", "--consistency", "tsso"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown consistency 'tsso'" in err
+    assert "did you mean 'tso'" in err
+
+
+def test_run_unknown_consistency_is_usage_error(capsys):
+    assert main(["run", "validation", "--consistency", "sq"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown consistency 'sq'" in err
+
+
+def test_run_unknown_preset_is_usage_error(capsys):
+    assert main(["run", "validation", "--preset", "multicre"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'multicore'" in err
+
+
+def test_check_litmus_under_tso(capsys):
+    assert main(["check", "--litmus", "--consistency", "tso",
+                 "--litmus-seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "consistency=tso" in out
+    assert "relaxed outcome observed (permitted)" in out  # sb shape
+    assert "[FAIL]" not in out
+
+
+def test_check_matrix(capsys):
+    assert main(["check", "--matrix", "--litmus-seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "litmus matrix: 27 cells" in out
+    assert "[FAIL]" not in out
+
+
+def test_run_with_preset_and_consistency(capsys):
+    assert main(["run", "validation", "--jobs", "1", "--no-cache",
+                 "--preset", "multicore", "--consistency", "tso"]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS]" in out

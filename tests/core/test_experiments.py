@@ -86,3 +86,50 @@ def test_run_experiment_wrapper_is_deprecated():
         result = run_experiment("validation")
     assert result is run_raw("validation")  # same memo slot
     clear_memory_cache()
+
+
+def test_validation_expectations_are_topology_aware():
+    """Under the cluster preset the 0->1 hops are on-node, and the
+    analytic expectations must use the same two-level latency the
+    machine charges (a flat-latency expectation would be ~5x off)."""
+    clear_memory_cache()
+    result = run_raw("validation", overrides={"preset": "cluster"})
+    checks = EXPERIMENTS["validation"].shape(result)
+    assert checks
+    for name, ok, detail in checks:
+        assert ok, f"{name}: {detail}"
+    clear_memory_cache()
+
+
+def test_paper_only_checks_waived_off_the_paper_preset():
+    """Checks naming claims pinned to the 1994 machine gate only the
+    paper preset; under modern presets build_record records them as
+    waived (passing, with the measured numbers kept in the detail)."""
+    from repro.runner.record import build_record
+
+    spec = EXPERIMENTS["gauss_collectives"]
+    assert spec.paper_only == ("lop-sided beats binary",)
+
+    class _Spec:
+        id = "fake"
+        title = "fake"
+        paper_tables = ""
+        notes = ""
+        paper_only = ("claim-a",)
+
+        @staticmethod
+        def shape(result):
+            return [("claim-a", False, "flipped"), ("claim-b", True, "held")]
+
+    config = ExperimentConfig(exp_id="validation", preset="cluster")
+    record = build_record(_Spec, config, result={}, elapsed_seconds=0.0)
+    assert record.checks == [
+        ["claim-a", True, "waived under preset='cluster': flipped"],
+        ["claim-b", True, "held"],
+    ]
+    # On the paper machine the same failing check gates.
+    record = build_record(
+        _Spec, ExperimentConfig(exp_id="validation"), result={},
+        elapsed_seconds=0.0,
+    )
+    assert record.checks[0] == ["claim-a", False, "flipped"]

@@ -143,3 +143,51 @@ def test_backend_override_changes_cache_identity():
     assert cache_key(base) != cache_key(reference)
     assert base.to_jsonable()["backend"] == "batched"
     assert reference.to_jsonable()["backend"] == "reference"
+
+
+def test_consistency_field_validated_with_suggestion():
+    with pytest.raises(ValueError, match="did you mean 'tso'"):
+        ExperimentConfig(exp_id="x", consistency="tsso")
+    with pytest.raises(ValueError, match="unknown consistency 'weak'"):
+        ExperimentConfig(exp_id="x", consistency="weak")
+
+
+def test_preset_field_validated_with_suggestion():
+    with pytest.raises(ValueError, match="did you mean 'multicore'"):
+        ExperimentConfig(exp_id="x", preset="multicre")
+    with pytest.raises(ValueError, match="unknown preset 'cm5'"):
+        ExperimentConfig(exp_id="x", preset="cm5")
+
+
+def test_consistency_override_changes_cache_identity():
+    """Unlike backend, the model changes simulated results — it must be
+    both validated and cache-keyed."""
+    from repro.runner.cache import cache_key
+
+    base = EXPERIMENTS["mse"].config
+    assert base.consistency == "sc"
+    tso = base.with_overrides({"consistency": "tso"})
+    assert tso.consistency == "tso"
+    assert cache_key(base) != cache_key(tso)
+    assert base.to_jsonable()["consistency"] == "sc"
+    assert tso.to_jsonable()["consistency"] == "tso"
+
+
+def test_preset_override_flows_through_machine_params():
+    """`preset` needs no cache-key entry of its own: its whole effect is
+    the resolved machine table, which is already keyed."""
+    from repro.arch.params import MachineParams
+    from repro.runner.cache import cache_key
+
+    base = EXPERIMENTS["mse"].config
+    multi = base.with_overrides({"preset": "multicore"})
+    assert multi.machine_params().common.dram_cycles == (
+        MachineParams.multicore().common.dram_cycles
+    )
+    assert cache_key(base) != cache_key(multi)
+    # `machine` overrides still apply on top of the preset table.
+    tuned = multi.with_overrides({"machine": {"network_latency": 45}})
+    assert tuned.machine_params().common.network_latency == 45
+    assert tuned.machine_params().common.dram_cycles == (
+        MachineParams.multicore().common.dram_cycles
+    )

@@ -126,6 +126,26 @@ class TestRunLifecycle:
         done = poll(server, job["job_id"])
         assert done["state"] == "done"
 
+    def test_consistency_and_preset_overrides_accepted(self, server):
+        """The memory-model and machine-table channels ride the same
+        overrides surface as backend; a typo gets the config layer's
+        did-you-mean as a 400."""
+        status, job = post(
+            server, "/v1/runs",
+            {"experiment": "validation",
+             "overrides": {"consistency": "tso", "preset": "multicore"}},
+        )
+        assert status in (200, 202)
+        done = poll(server, job["job_id"])
+        assert done["state"] == "done"
+        assert done["params"]["overrides"]["consistency"] == "tso"
+        status, body = post(
+            server, "/v1/runs",
+            {"experiment": "validation", "overrides": {"consistency": "tsso"}},
+        )
+        assert status == 400
+        assert "did you mean 'tso'" in body["error"]
+
     def test_jobs_listing(self, server):
         post(server, "/v1/runs", {"experiment": "validation"})
         status, listing = get(server, "/v1/jobs")

@@ -105,3 +105,10 @@ def test_parse_axis_flag():
         parse_axis_flag("=1,2")
     with pytest.raises(ValueError, match="empty axis name or value"):
         parse_axis_flag("procs=,")
+
+
+def test_consistency_and_preset_axes():
+    assert axis_overrides(EM3D, "consistency", "tso") == {"consistency": "tso"}
+    assert axis_overrides(EM3D, "preset", "cluster") == {"preset": "cluster"}
+    assert "consistency" in known_axes(EM3D)
+    assert "preset" in known_axes(VALIDATION)

@@ -54,3 +54,17 @@ def test_gauss_speedup_monotone_with_crossover(tmp_path):
     [probe] = result.crossovers
     assert probe["crossed"] is True
     assert 4 < probe["at"] <= 8  # SM overtakes MP late in the sweep
+
+
+@pytest.mark.slow
+def test_em3d_modern_mp_win_survives(tmp_path):
+    """The ROADMAP's scenario-diversity question, machine-checked: the
+    paper's EM3D MP win survives — and widens — on the multicore-era
+    and cluster-of-multicores tables."""
+    result = run_sweep(get_sweep("em3d-modern"), jobs=1,
+                       cache=ResultCache(tmp_path))
+    assert result.all_ok, result.checks
+    xs, ratio = result.series("sm_over_mp")
+    by_preset = dict(zip(xs, ratio))
+    assert by_preset["paper"] < by_preset["multicore"] < by_preset["cluster"]
+    assert min(ratio) > 1.0

@@ -83,6 +83,70 @@ def test_backends_bit_identical_slow(exp_id):
     _assert_identical(*_record_pair(exp_id))
 
 
+# -- memory-model differentials ----------------------------------------------
+
+
+def _record_consistency_pair(exp_id, backend):
+    """Fresh records with default vs. explicit-sc consistency."""
+    records = {}
+    for consistency in (None, "sc"):
+        api.clear_memory_cache()
+        overrides = dict(SMALL[exp_id], backend=backend)
+        if consistency is not None:
+            overrides["consistency"] = consistency
+        records[consistency] = api.record_for(exp_id, overrides, use_cache=False)
+    return records[None], records["sc"]
+
+
+@pytest.mark.parametrize("backend", ("batched", "reference"))
+@pytest.mark.parametrize("exp_id", TIER1)
+def test_explicit_sc_identical_to_default(exp_id, backend):
+    """consistency="sc" is the default, spelled out: same key, same
+    record, bit for bit — the relaxed-model machinery leaves the SC
+    path untouched on both backends."""
+    default, explicit = _record_consistency_pair(exp_id, backend)
+    assert default.to_jsonable()["config"]["consistency"] == "sc"
+    assert default.cache_key == explicit.cache_key
+    a, b = default.to_jsonable(), explicit.to_jsonable()
+    for key in ("elapsed_seconds", "cached"):
+        a.pop(key, None)
+        b.pop(key, None)
+    assert a == b
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", HEAVY)
+def test_explicit_sc_identical_to_default_slow(exp_id):
+    for backend in ("batched", "reference"):
+        default, explicit = _record_consistency_pair(exp_id, backend)
+        assert default.cache_key == explicit.cache_key
+        a, b = default.to_jsonable(), explicit.to_jsonable()
+        for key in ("elapsed_seconds", "cached"):
+            a.pop(key, None)
+            b.pop(key, None)
+        assert a == b
+
+
+@pytest.mark.parametrize("exp_id", TIER1)
+def test_relaxed_records_identical_across_backends(exp_id):
+    """Under relaxation both backends build the same scalar
+    RelaxedSmContext (batched bulk steps assume SC visibility), so
+    tso records must be bit-identical across backends too — and must
+    never share a cache key with the sc records."""
+    records = {}
+    for backend in ("batched", "reference"):
+        api.clear_memory_cache()
+        overrides = dict(SMALL[exp_id], backend=backend, consistency="tso")
+        records[backend] = api.record_for(exp_id, overrides, use_cache=False)
+    a = records["batched"].to_jsonable()
+    b = records["reference"].to_jsonable()
+    assert a["config"]["consistency"] == "tso"
+    for key in PROVENANCE:
+        a.pop(key, None)
+        b.pop(key, None)
+    assert a == b
+
+
 # -- invariant suites under the batched backend ------------------------------
 
 
