@@ -23,6 +23,13 @@ need lives here, re-exported from the subsystems that implement it:
   (:class:`~repro.serve.server.ReproServer`): submit runs/sweeps over
   ``POST``, poll content-hash job IDs, warm requests answered from the
   result cache in milliseconds.
+* :func:`load_spec` / :func:`specs` — the declarative YAML scenario
+  layer (:mod:`repro.specs`): load one experiment/sweep spec by id or
+  path, or list every discoverable spec with its metadata.
+* :func:`query` — filtered rows out of the run lake
+  (:mod:`repro.lake`): cycle-breakdown metric columns across
+  apps/backends/consistency models/presets, stale-salt rows excluded
+  unless asked for; zero re-simulation.
 
 Import from ``repro.api`` rather than the implementing modules:
 the facade is the surface the project promises to keep stable across
@@ -63,13 +70,78 @@ __all__ = [
     "clear_memory_cache",
     "execute",
     "get_sweep",
+    "load_spec",
+    "query",
     "record_for",
     "resolve_config",
     "run_raw",
     "serve",
+    "specs",
     "sweep",
     "trace_for",
 ]
+
+
+def load_spec(ref: str):
+    """Load one YAML spec by discoverable id or file path.
+
+    Returns a :class:`SweepSpec` for sweep specs or a
+    :class:`~repro.specs.ExperimentSpecDoc` (``.resolve()`` yields the
+    frozen :class:`ExperimentConfig`) for experiment specs. Unknown
+    ids and malformed documents raise
+    :class:`~repro.specs.SpecError` with a did-you-mean.
+    """
+    from repro.specs import load_spec as load
+
+    return load(ref)
+
+
+def specs(kind: Optional[str] = None) -> List[Any]:
+    """Listing metadata for every discoverable YAML spec.
+
+    ``kind`` narrows to ``"sweep"`` or ``"experiment"``; each entry is
+    a :class:`~repro.specs.SpecInfo` (id, kind, experiment, category,
+    description, path). The search path is ``$REPRO_SPECS_DIR``, then
+    ``./specs``, then the repository's shipped specs.
+    """
+    from repro.specs import list_specs
+
+    return list_specs(kind)
+
+
+def query(
+    app: Optional[str] = None,
+    backend: Optional[str] = None,
+    consistency: Optional[str] = None,
+    preset: Optional[str] = None,
+    salt: Optional[str] = None,
+    all_salts: bool = False,
+    metrics: Optional[Sequence[str]] = None,
+    lake: Any = None,
+) -> List[Dict[str, Any]]:
+    """Filtered run rows from the lake (see ``repro query``).
+
+    Each row carries the provenance columns (exp_id, backend,
+    consistency, preset, procs, salt, fresh) plus the requested metric
+    columns (default ``mp_total, sm_total, sm_over_mp``). Stale-salt
+    rows — detected at query time with the same
+    :func:`repro.runner.cache.record_is_fresh` decision ``repro cache
+    ls`` renders — are excluded unless ``all_salts=True``. ``lake``
+    accepts a path or an open :class:`~repro.lake.RunLake` (default:
+    the standard lake location).
+    """
+    from repro.lake import QueryFilters, query_runs
+
+    filters = QueryFilters(
+        app=app,
+        backend=backend,
+        consistency=consistency,
+        preset=preset,
+        salt=salt,
+        all_salts=all_salts,
+        **({"metrics": tuple(metrics)} if metrics else {}),
+    )
+    return query_runs(lake, filters)
 
 
 def sweep(

@@ -28,9 +28,21 @@ Commands:
   sweep (``repro.sweep``): grid expansion, cache-aware sharded
   execution, ASCII curve plots, crossover detection, and the spec's
   machine-checked shape assertions;
+* ``python -m repro sweep --glob "specs/sweeps/em3d-*.yaml"`` — batch
+  run every matching YAML sweep spec (``repro.specs``): sweep names
+  resolve YAML-first (the spec search path), deprecated Python
+  registrations second;
 * ``python -m repro cache ls`` / ``python -m repro cache clear`` —
   inspect (per-record byte sizes, totals, salt freshness) or drop the
   on-disk result cache;
+* ``python -m repro lake ingest`` / ``python -m repro lake stats`` —
+  backfill the append-only sqlite run lake from the warm cache (also
+  fed opt-in by ``run/sweep --lake``), or print its row counts;
+* ``python -m repro query [--app --backend --consistency --preset
+  --salt --all-salts --metrics --pivot --json --csv]`` — answer
+  cross-preset/cross-version cycle-breakdown questions purely from
+  lake rows, zero re-simulation; stale-salt rows are hidden unless
+  ``--all-salts`` names them explicitly;
 * ``python -m repro fidelity [--json PATH]`` — the paper-vs-run
   scorecard;
 * ``python -m repro serve [--host --port --jobs --cache-bytes]`` — the
@@ -68,10 +80,19 @@ _FLAG_DEFS = {
              help="worker processes (default: cpu count)")),
     "json": (("--json",), dict(metavar="PATH",
              help="export results as JSON")),
+    "csv": (("--csv",), dict(metavar="PATH",
+            help="export results as CSV")),
     "force": (("--force",), dict(action="store_true",
               help="re-simulate even on a cache hit")),
     "no-cache": (("--no-cache",), dict(action="store_true",
                  help="bypass the on-disk result cache entirely")),
+    "lake": (("--lake",), dict(action="store_true",
+             help="also ingest results into the run lake "
+                  "(append-only sqlite; see `repro query`)")),
+    "lake-path": (("--lake-path",), dict(metavar="PATH", default=None,
+                  help="lake sqlite location (default: "
+                       "$REPRO_LAKE_PATH, else lake.sqlite beside "
+                       "the result cache)")),
 }
 
 
@@ -210,6 +231,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not _print_record(record):
             failed.append(exp_id)
 
+    if args.lake:
+        from repro.lake import RunLake
+
+        with RunLake(args.lake_path) as lake:
+            added = sum(
+                bool(lake.ingest_record(record))
+                for record in records.values()
+            )
+            print(
+                f"lake {lake.path}: {added} new of {len(records)} "
+                "record(s) ingested",
+                file=sys.stderr,
+            )
+
     if args.json:
         payload = [record.to_jsonable() for record in records.values()]
         try:
@@ -252,14 +287,61 @@ def cmd_fidelity(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import get_sweep, parse_axis_flag, render_plots, run_sweep
+def _suffixed_path(path: str, name: str, multi: bool) -> str:
+    """Insert the spec name before the extension for multi-spec exports."""
+    if not multi:
+        return path
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}-{name}{p.suffix}"))
 
-    try:
-        spec = get_sweep(args.spec)
-    except ValueError as exc:
-        print(f"repro sweep: error: {exc}", file=sys.stderr)
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import get_sweep
+
+    # One spec by name/path, or a batch via --glob — never both.
+    if bool(args.spec) == bool(args.glob):
+        print(
+            "repro sweep: error: name one spec (or a YAML path) or pass "
+            '--glob "specs/sweeps/em3d-*.yaml", not both',
+            file=sys.stderr,
+        )
         return 2
+
+    specs = []
+    if args.glob:
+        from repro.specs import SpecError, expand_glob, load_sweep
+
+        paths = expand_glob(args.glob)
+        if not paths:
+            print(
+                f"repro sweep: error: --glob {args.glob!r} matched no "
+                "spec files",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            specs = [load_sweep(str(path)) for path in paths]
+        except SpecError as exc:
+            print(f"repro sweep: error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            specs = [get_sweep(args.spec)]
+        except ValueError as exc:
+            print(f"repro sweep: error: {exc}", file=sys.stderr)
+            return 2
+
+    worst = 0
+    for spec in specs:
+        code = _run_one_sweep(spec, args, multi=len(specs) > 1)
+        worst = max(worst, code)
+        if code == 2:
+            return 2  # usage errors stop the batch immediately
+    return worst
+
+
+def _run_one_sweep(spec, args: argparse.Namespace, multi: bool = False) -> int:
+    from repro.sweep import parse_axis_flag, render_plots, run_sweep
 
     axes = {}
     try:
@@ -310,6 +392,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n({meta['points']} points: {meta['simulated']} simulated, "
           f"{meta['cached']} cached, {meta['elapsed_seconds']:.1f}s)")
 
+    if args.lake:
+        from repro.lake import RunLake
+
+        with RunLake(args.lake_path) as lake:
+            added_sweep = lake.ingest_sweep(result)
+            added_points = lake.ingest_sweep_cache_records(result)
+            print(
+                f"lake {lake.path}: sweep "
+                f"{'ingested' if added_sweep else 'already present'}, "
+                f"{added_points} new point record(s)",
+                file=sys.stderr,
+            )
+
     for attr, prog_hint, text in (
         ("json", "JSON", json.dumps(result.to_jsonable(), indent=1,
                                     sort_keys=True)),
@@ -318,6 +413,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         path = getattr(args, attr)
         if not path:
             continue
+        path = _suffixed_path(path, result.spec_name, multi)
         try:
             Path(path).write_text(text)
         except OSError as exc:
@@ -611,6 +707,128 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_lake(args: argparse.Namespace) -> int:
+    from repro.lake import RunLake, default_lake_path
+
+    if args.lake_command == "ingest":
+        cache = ResultCache()
+        with RunLake(args.lake_path) as lake:
+            added, seen = lake.ingest_cache(cache)
+            print(
+                f"lake {lake.path}: ingested {added} new of {seen} cached "
+                f"record(s) from {cache.directory}"
+            )
+        return 0
+    if args.lake_command == "stats":
+        path = Path(args.lake_path) if args.lake_path else default_lake_path()
+        if not path.exists():
+            print(
+                f"repro lake: error: no lake at {path} (run with --lake or "
+                "`repro lake ingest` first)",
+                file=sys.stderr,
+            )
+            return 1
+        with RunLake(path) as lake:
+            stats = lake.stats()
+        if args.json:
+            return _emit_text(
+                args.json, json.dumps(stats, indent=1, sort_keys=True),
+                "repro lake", "lake stats JSON",
+            )
+        for key, value in stats.items():
+            print(f"{key:>14}: {value}")
+        return 0
+    print("unknown lake command", file=sys.stderr)
+    return 2
+
+
+def _emit_text(path: str, text: str, prog: str, label: str) -> int:
+    """Write an export to a file, or to stdout when the path is '-'."""
+    if path == "-":
+        print(text)
+        return 0
+    try:
+        Path(path).write_text(text if text.endswith("\n") else text + "\n")
+    except OSError as exc:
+        print(f"{prog}: error: cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {label} to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.lake import (
+        QueryFilters,
+        RunLake,
+        default_lake_path,
+        pivot,
+        query_runs,
+        render_rows,
+        rows_to_csv,
+    )
+
+    if args.app is not None and args.app not in EXPERIMENTS:
+        from repro.runner.config import suggest
+
+        print(
+            f"repro query: error: unknown app {args.app!r}"
+            f"{suggest(args.app, EXPERIMENTS)}; known: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if _reject_unknown_consistency(args.consistency, "repro query"):
+        return 2
+
+    path = Path(args.lake_path) if args.lake_path else default_lake_path()
+    if not path.exists():
+        print(
+            f"repro query: error: no lake at {path} (run with --lake or "
+            "`repro lake ingest` first)",
+            file=sys.stderr,
+        )
+        return 1
+
+    metrics = tuple(
+        name.strip() for name in (args.metrics or "").split(",") if name.strip()
+    )
+    filters = QueryFilters(
+        app=args.app,
+        backend=args.backend,
+        consistency=args.consistency,
+        preset=args.preset,
+        salt=args.salt,
+        all_salts=args.all_salts,
+        **({"metrics": metrics} if metrics else {}),
+    )
+    try:
+        with RunLake(path) as lake:
+            rows = query_runs(lake, filters)
+        if args.pivot:
+            rows = pivot(rows, args.pivot, filters.metrics[0])
+    except ValueError as exc:
+        print(f"repro query: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        return _emit_text(
+            args.json, json.dumps(rows, indent=1, sort_keys=True),
+            "repro query", f"{len(rows)} query rows as JSON",
+        )
+    if args.csv:
+        return _emit_text(
+            args.csv, rows_to_csv(rows), "repro query",
+            f"{len(rows)} query rows as CSV",
+        )
+    print(render_rows(rows))
+    print(
+        f"\n({len(rows)} row(s) from {path}"
+        + ("" if args.all_salts else "; stale-salt rows hidden, "
+           "--all-salts shows them")
+        + ")"
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro import api
     from repro.serve import parse_bytes
@@ -658,7 +876,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser(
         "run", help="run experiments",
-        parents=[flags_parent("jobs", "json", "force", "no-cache")],
+        parents=[flags_parent("jobs", "json", "force", "no-cache",
+                              "lake", "lake-path")],
     )
     run_parser.add_argument("experiments", nargs="*", metavar="ID",
                             help="experiment ids (see `list`)")
@@ -686,17 +905,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a declarative sensitivity sweep (grid over one or two "
              "axes, cache-aware, with machine-checked curve shapes)",
-        parents=[flags_parent("jobs", "json", "force", "no-cache")],
+        parents=[flags_parent("jobs", "json", "csv", "force", "no-cache",
+                              "lake", "lake-path")],
     )
-    sweep_parser.add_argument("spec", metavar="SPEC",
-                              help="shipped sweep name (em3d-latency, "
-                                   "em3d-cache, gauss-speedup)")
+    sweep_parser.add_argument("spec", metavar="SPEC", nargs="?",
+                              help="sweep spec: a YAML id (em3d-latency, "
+                                   "em3d-cache, gauss-speedup, em3d-modern; "
+                                   "see specs/sweeps/), a YAML file path, or "
+                                   "a name registered in the deprecated "
+                                   "Python registry")
+    sweep_parser.add_argument("--glob", metavar="PATTERN",
+                              help="run every sweep spec file matching a "
+                                   "glob, e.g. --glob "
+                                   '"specs/sweeps/em3d-*.yaml"; --json/--csv '
+                                   "paths get the spec name suffixed")
     sweep_parser.add_argument("--axis", action="append", metavar="K=V1,V2,...",
                               help="replace (or add) an axis value list, "
                                    "e.g. --axis net_latency=0,50,100; "
                                    "repeatable")
-    sweep_parser.add_argument("--csv", metavar="PATH",
-                              help="export the point grid as CSV")
     sweep_parser.add_argument("--resume", action="store_true",
                               help="pick the spec's most recent manifest "
                                    "back up (reuses its axes)")
@@ -787,6 +1013,54 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("cache_command", choices=["ls", "clear"],
                               help="ls: list records; clear: delete them")
     cache_parser.set_defaults(handler=cmd_cache)
+
+    lake_parser = subparsers.add_parser(
+        "lake",
+        help="the run lake: backfill-ingest cached records into the "
+             "append-only sqlite store, or print its stats",
+        parents=[flags_parent("json", "lake-path")],
+    )
+    lake_parser.add_argument("lake_command", choices=["ingest", "stats"],
+                             help="ingest: backfill every cached record; "
+                                  "stats: row counts and freshness")
+    lake_parser.set_defaults(handler=cmd_lake)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="query the run lake: filter runs by app/backend/consistency/"
+             "preset/salt, project cycle-breakdown metric columns, pivot "
+             "for cross-preset or cross-version comparison — zero "
+             "re-simulation ('-' as a --json/--csv path prints to stdout)",
+        parents=[flags_parent("json", "csv", "lake-path")],
+    )
+    query_parser.add_argument("--app", metavar="ID", default=None,
+                              help="filter to one experiment id (see `list`)")
+    query_parser.add_argument("--backend", choices=("batched", "reference"),
+                              default=None, help="filter by execution backend")
+    query_parser.add_argument("--consistency", metavar="MODEL", default=None,
+                              help="filter by memory model: sc, tso, or pc")
+    query_parser.add_argument("--preset", metavar="TABLE", default=None,
+                              help="filter by machine preset (paper, "
+                                   "multicore, cluster; lake rows may also "
+                                   "carry 'custom' for perturbed machines)")
+    query_parser.add_argument("--salt", metavar="SALT", default=None,
+                              help="filter by the code-salt provenance "
+                                   "column (implies cross-version intent; "
+                                   "combine with --all-salts)")
+    query_parser.add_argument("--all-salts", action="store_true",
+                              help="include stale-salt rows (hidden by "
+                                   "default so versions never mix silently)")
+    query_parser.add_argument("--metrics", metavar="M1,M2,...", default=None,
+                              help="metric columns (default: "
+                                   "mp_total,sm_total,sm_over_mp); any "
+                                   "registry metric or ingested breakdown "
+                                   "component (mp_computation, "
+                                   "sm_data_access, ...)")
+    query_parser.add_argument("--pivot", metavar="COLUMN", default=None,
+                              help="spread the first metric across one "
+                                   "column's values (preset, salt, backend, "
+                                   "consistency, procs), one row per app")
+    query_parser.set_defaults(handler=cmd_query)
 
     serve_parser = subparsers.add_parser(
         "serve",

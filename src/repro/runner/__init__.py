@@ -21,7 +21,7 @@ model.
 """
 
 from repro.runner.api import execute, record_for, run_raw
-from repro.runner.cache import ResultCache, cache_key
+from repro.runner.cache import ResultCache, cache_key, record_is_fresh
 from repro.runner.config import ExperimentConfig
 from repro.runner.record import RunRecord
 
@@ -32,5 +32,6 @@ __all__ = [
     "cache_key",
     "execute",
     "record_for",
+    "record_is_fresh",
     "run_raw",
 ]

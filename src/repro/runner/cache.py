@@ -74,6 +74,26 @@ def key_for_jsonable(config_jsonable: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def record_is_fresh(data: Dict[str, Any]) -> bool:
+    """The single salt-freshness decision for a stored record dict.
+
+    True when the stored ``cache_key`` still matches a key recomputed
+    from the stored ``config`` under the *current* :data:`CODE_SALT`,
+    package version, and record schema. Every staleness surface —
+    ``repro cache ls``, eviction, the run lake, ``repro query`` —
+    routes through here, so a mid-session salt bump moves them all at
+    once and they can never disagree about which records are stale.
+    """
+    try:
+        return (
+            data.get("schema") == RECORD_SCHEMA
+            and bool(data.get("cache_key"))
+            and data["cache_key"] == key_for_jsonable(data["config"])
+        )
+    except (KeyError, TypeError):
+        return False
+
+
 @dataclass
 class CacheEntry:
     """Size/age/staleness facts about one on-disk record file.
@@ -217,10 +237,7 @@ class ResultCache:
                 data = json.loads(raw.decode("utf-8"))
                 exp_id = str(data.get("exp_id", "?"))
                 key = str(data.get("cache_key", ""))
-                stale = (
-                    data.get("schema") != RECORD_SCHEMA
-                    or key != key_for_jsonable(data["config"])
-                )
+                stale = not record_is_fresh(data)
             except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
                     TypeError):
                 stale = True

@@ -38,6 +38,13 @@ class RunRecord:
     #: the run has never been traced). Additive: from_jsonable defaults
     #: it for records stored before tracing existed.
     trace_path: str = ""
+    #: Machine preset the run resolved its parameter table from. The
+    #: canonical config deliberately omits it (two spellings of the same
+    #: machine share a cache key), so the record carries it as run
+    #: provenance for the lake. Additive like ``trace_path``: records
+    #: stored before the lake existed default to "" and the lake infers
+    #: the preset by matching the resolved machine parameters.
+    preset: str = ""
     schema: int = RECORD_SCHEMA
     cached: bool = field(default=False, compare=False)
 
@@ -193,4 +200,5 @@ def build_record(
         rendered=render_result(spec, result),
         summary=summarize_result(result),
         notes=spec.notes,
+        preset=preset,
     )

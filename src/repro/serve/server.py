@@ -15,6 +15,7 @@ Endpoints (JSON unless noted)::
                               terminal state, then answer (no busy loop)
     GET  /v1/jobs             list known jobs            -> {"jobs": [...]}
     GET  /v1/experiments      list runnable experiments  -> {"experiments": [...]}
+    GET  /v1/specs            list YAML experiment/sweep specs -> {"specs": [...]}
     GET  /healthz             liveness + queue/cache stats
     GET  /status              human-readable HTML status page
 
@@ -186,6 +187,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/v1/experiments":
             self._send_json(200, self.repro.experiments())
+            return
+        if path == "/v1/specs":
+            self._send_json(200, self.repro.specs())
             return
         if path == "/v1/jobs":
             jobs = self.repro.queue.registry.jobs()
@@ -409,6 +413,23 @@ class ReproServer:
                 for exp_id, spec in EXPERIMENTS.items()
             ]
         }
+
+    def specs(self) -> Dict[str, Any]:
+        """The YAML scenario layer, as listing metadata (``/v1/specs``).
+
+        A broken spec file on the search path becomes a row with an
+        ``error`` field rather than a 500: the listing is a discovery
+        surface and must stay answerable while someone edits a spec.
+        """
+        from dataclasses import asdict
+
+        from repro.specs import SpecError, list_specs
+
+        try:
+            rows = [asdict(info) for info in list_specs()]
+        except SpecError as exc:
+            return {"specs": [], "error": str(exc)}
+        return {"specs": rows}
 
     def status_page(self) -> str:
         """``/status``: the health document and job table as HTML."""

@@ -1,0 +1,58 @@
+"""Declarative YAML experiment/sweep specs (``specs/**/*.yaml``).
+
+Scenarios live as data: :mod:`repro.specs.loader` parses and validates
+the YAML documents into the same frozen dataclasses the Python
+registrations used to construct (bit-identical, parity-tested), and
+:mod:`repro.specs.library` holds the named callables (shape checks,
+derive passes, extra-metric sets) that YAML references by name.
+
+Entry points::
+
+    from repro import api
+    spec = api.load_spec("em3d-latency")       # by id (search path)
+    spec = api.load_spec("specs/sweeps/em3d-latency.yaml")  # by path
+    api.specs()                                # listing metadata
+
+The search path is ``$REPRO_SPECS_DIR``, then ``./specs``, then the
+repository's shipped ``specs/`` directory.
+"""
+
+from repro.specs.library import CHECKS, DERIVES, EXTRA_METRICS
+from repro.specs.loader import (
+    ENV_SPECS_DIR,
+    ExperimentSpecDoc,
+    SpecError,
+    SpecInfo,
+    discovered_experiments,
+    discovered_sweeps,
+    expand_glob,
+    get_sweep,
+    iter_spec_files,
+    list_specs,
+    load_spec,
+    load_spec_file,
+    load_sweep,
+    spec_dirs,
+    spec_info,
+)
+
+__all__ = [
+    "CHECKS",
+    "DERIVES",
+    "EXTRA_METRICS",
+    "ENV_SPECS_DIR",
+    "ExperimentSpecDoc",
+    "SpecError",
+    "SpecInfo",
+    "discovered_experiments",
+    "discovered_sweeps",
+    "expand_glob",
+    "get_sweep",
+    "iter_spec_files",
+    "list_specs",
+    "load_spec",
+    "load_spec_file",
+    "load_sweep",
+    "spec_dirs",
+    "spec_info",
+]

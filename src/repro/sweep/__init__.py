@@ -26,7 +26,22 @@ from repro.sweep.engine import latest_manifest, result_path, run_sweep
 from repro.sweep.plot import render_plot, render_plots
 from repro.sweep.result import SWEEP_SCHEMA, SweepResult, load_result
 from repro.sweep.spec import CrossoverSpec, SweepPoint, SweepSpec
-from repro.sweep.specs import SWEEP_SPECS, get_sweep
+
+
+def __getattr__(name: str):
+    # Lazy, to avoid a circular import with repro.specs (which builds
+    # SweepSpec objects from YAML and therefore imports this package's
+    # submodules): the canonical YAML-first resolver, plus the
+    # deprecated registry dict round-tripped through the YAML loader.
+    if name == "get_sweep":
+        from repro.specs import get_sweep
+
+        return get_sweep
+    if name == "SWEEP_SPECS":
+        from repro.sweep import specs as _legacy
+
+        return _legacy.SWEEP_SPECS  # emits the shim's DeprecationWarning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "SWEEP_SCHEMA",

@@ -1,220 +1,63 @@
-"""Ship-with-repo sweeps reproducing the paper's sensitivity claims.
+"""Deprecated shim: the shipped sweeps moved to ``specs/sweeps/*.yaml``.
 
-Each spec pins one qualitative conclusion from Section 5 of the paper
-as a machine-checked curve shape over a scaled-down workload (a few
-seconds of simulation for the whole grid, so the sweeps are runnable
-in CI):
+The Python registrations that used to live here are now YAML data
+(loaded by :mod:`repro.specs`, with the callable fields resolved by
+name through :mod:`repro.specs.library`). This module keeps the old
+import surface alive for one deprecation cycle:
 
-* ``em3d-latency`` — EM3D is the message-passing showcase: its MP
-  version overlaps communication that the SM version stalls on, so
-  the SM/MP cycle ratio *grows* with network latency and shrinks
-  toward parity as the network gets faster.
-* ``em3d-cache`` — the SM version's data-access share of execution
-  time grows as the cache shrinks below the working set; MP, with its
-  locally-allocated graph halves, is far less cache-sensitive.
-* ``gauss-speedup`` — both versions of Gaussian elimination speed up
-  monotonically through eight processors on a fixed problem, and the
-  SM version overtakes MP as broadcast traffic grows with the
-  processor count.
-* ``em3d-modern`` — the ROADMAP's scenario-diversity question: does
-  EM3D's MP win survive machines the paper never saw? The ``preset``
-  axis re-runs the pair on the multicore-era and cluster-of-multicores
-  tables (see :mod:`repro.arch.params`).
+* ``SWEEP_SPECS`` — a dict round-tripped through the YAML loader,
+  identity-stable across accesses so tests (and downstream code) can
+  still monkeypatch entries into it; the canonical resolver
+  :func:`repro.specs.get_sweep` consults it after the YAML search
+  path, so injected registrations keep working.
+* ``get_sweep`` — delegates to :func:`repro.specs.get_sweep`
+  (YAML-first, this registry second).
 
-The grids are deliberately coarse; ``repro sweep <name> --axis ...``
-widens any axis without touching this file.
+Both emit :class:`DeprecationWarning` on access. New code should call
+``api.load_spec()`` / ``repro.specs.get_sweep`` and add sweeps as YAML
+files on the spec search path instead of registering Python objects.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import warnings
+from typing import Dict, Optional
 
-from repro.sweep.analysis import fmt_series, monotone
-from repro.sweep.spec import CrossoverSpec, SweepCheck, SweepPoint, SweepSpec
+from repro.sweep.spec import SweepSpec
 
-#: A small EM3D workload (4 procs x 40 nodes x degree 4, 3 iterations)
-#: that keeps the paper's qualitative behaviour at ~1/250 the cycles.
-_EM3D_SMALL: Dict[str, Any] = {
-    "procs": 4,
-    "app": {"nodes_per_proc": 40, "degree": 4, "iterations": 3},
-}
+_DEPRECATION = (
+    "repro.sweep.specs is deprecated: the shipped sweeps are YAML specs "
+    "under specs/sweeps/ now; use repro.specs.get_sweep / api.load_spec "
+    "(new sweeps are YAML files on the spec search path, not Python "
+    "registrations)"
+)
 
-
-def _check_em3d_latency(result: Any) -> List[SweepCheck]:
-    _xs, ratio = result.series("sm_over_mp")
-    return [
-        (
-            "sm/mp cycle ratio grows with network latency",
-            monotone(ratio, increasing=True, strict=True),
-            f"sm_over_mp: {fmt_series(ratio)}",
-        ),
-        (
-            "mp wins at every swept latency (ratio stays above 1)",
-            min(ratio) > 1.0,
-            f"min sm_over_mp = {min(ratio):.3f}",
-        ),
-    ]
+#: The round-tripped registry. One dict object for the module lifetime
+#: (monkeypatch.setitem against SWEEP_SPECS must see the same object
+#: the resolver consults), lazily filled from the YAML loader.
+_SWEEP_SPECS_CACHE: Optional[Dict[str, SweepSpec]] = None
 
 
-#: EM3D at 16 processors: enough to span two 8-core clusters on the
-#: ``cluster`` preset, so the cross-node latency actually bites.
-_EM3D_MODERN: Dict[str, Any] = {
-    "procs": 16,
-    "app": {"nodes_per_proc": 16, "degree": 4, "iterations": 3},
-}
+def _registry() -> Dict[str, SweepSpec]:
+    """The shim dict, without the deprecation warning (internal use)."""
+    global _SWEEP_SPECS_CACHE
+    if _SWEEP_SPECS_CACHE is None:
+        from repro.specs import discovered_sweeps
+
+        _SWEEP_SPECS_CACHE = dict(discovered_sweeps())
+    return _SWEEP_SPECS_CACHE
 
 
-def _check_em3d_modern(result: Any) -> List[SweepCheck]:
-    xs, ratio = result.series("sm_over_mp")
-    by_preset = dict(zip(xs, ratio))
-    return [
-        (
-            "mp wins em3d on every machine table (ratio stays above 1)",
-            min(ratio) > 1.0,
-            f"min sm_over_mp = {min(ratio):.3f}",
-        ),
-        (
-            "the memory wall widens mp's win on the multicore table",
-            by_preset["multicore"] > by_preset["paper"],
-            f"paper {by_preset['paper']:.2f} -> "
-            f"multicore {by_preset['multicore']:.2f}",
-        ),
-        (
-            "cross-node latency widens it further on the cluster table",
-            by_preset["cluster"] > by_preset["multicore"],
-            f"multicore {by_preset['multicore']:.2f} -> "
-            f"cluster {by_preset['cluster']:.2f}",
-        ),
-    ]
-
-
-def _check_em3d_cache(result: Any) -> List[SweepCheck]:
-    _xs, share = result.series("sm_data_access_share")
-    return [
-        (
-            "sm data-access share falls as the cache grows",
-            monotone(share, increasing=False, strict=True),
-            f"sm_data_access_share: {fmt_series(share)}",
-        ),
-    ]
-
-
-def _derive_speedups(points: List[SweepPoint]) -> None:
-    """Per-version parallel speedup against the sweep's first point."""
-    for key in ("mp", "sm"):
-        base = points[0].metrics[f"{key}_total"]
-        for point in points:
-            total = point.metrics[f"{key}_total"]
-            point.metrics[f"{key}_speedup"] = base / total if total else 0.0
-
-
-def _check_gauss_speedup(result: Any) -> List[SweepCheck]:
-    checks: List[SweepCheck] = []
-    for key in ("mp", "sm"):
-        _xs, speedup = result.series(f"{key}_speedup")
-        checks.append(
-            (
-                f"{key} speedup is monotone through the swept procs",
-                monotone(speedup, increasing=True, strict=True),
-                f"{key}_speedup: {fmt_series(speedup)}",
-            )
-        )
-    return checks
-
-
-SWEEP_SPECS: Dict[str, SweepSpec] = {
-    spec.name: spec
-    for spec in (
-        SweepSpec(
-            name="em3d-latency",
-            exp_id="em3d",
-            description=(
-                "EM3D cycle totals vs network latency: the MP version's "
-                "split-phase sends hide latency the SM version eats as "
-                "remote-miss stalls, so MP's win grows with latency and "
-                "shrinks toward parity as the network gets faster."
-            ),
-            axes=(("net_latency", (0, 25, 50, 100, 200)),),
-            metrics=("mp_total", "sm_total", "sm_over_mp"),
-            base_overrides=_EM3D_SMALL,
-            crossovers=(
-                CrossoverSpec(
-                    name="sm-catches-mp",
-                    metric="sm_over_mp",
-                    level=1.0,
-                    description="latency below which SM would match MP",
-                ),
-            ),
-            checks=_check_em3d_latency,
-        ),
-        SweepSpec(
-            name="em3d-cache",
-            exp_id="em3d",
-            description=(
-                "EM3D-SM data-access share vs cache size: below the "
-                "working set the share of time spent in shared/private "
-                "misses climbs steeply; MP's locally-allocated graph "
-                "halves make it far less cache-sensitive."
-            ),
-            axes=(("cache_kb", (2, 4, 8, 16)),),
-            metrics=("sm_data_access_share", "sm_total", "mp_total"),
-            base_overrides=_EM3D_SMALL,
-            checks=_check_em3d_cache,
-        ),
-        SweepSpec(
-            name="gauss-speedup",
-            exp_id="gauss",
-            description=(
-                "Gauss cycle totals vs processor count on a fixed n=64 "
-                "problem: both versions speed up monotonically, and the "
-                "SM version overtakes MP as the MP broadcast of pivot "
-                "rows grows with the processor count."
-            ),
-            axes=(("procs", (1, 2, 4, 8)),),
-            metrics=("mp_total", "sm_total", "sm_over_mp"),
-            base_overrides={"app": {"n": 64}},
-            crossovers=(
-                CrossoverSpec(
-                    name="sm-overtakes-mp",
-                    metric="sm_over_mp",
-                    level=1.0,
-                    description="procs at which SM becomes faster than MP",
-                ),
-            ),
-            checks=_check_gauss_speedup,
-            derive=_derive_speedups,
-        ),
-        SweepSpec(
-            name="em3d-modern",
-            exp_id="em3d",
-            description=(
-                "EM3D across machine generations: the paper's CM-5 "
-                "table, a multicore-era table (on-chip network, memory "
-                "wall), and a cluster of multicores with two-level "
-                "latency. The memory wall makes SM's remote misses "
-                "dearer while MP's split-phase sends keep hiding "
-                "latency, so MP's 1994 win survives — and grows — on "
-                "modern parameters."
-            ),
-            axes=(("preset", ("paper", "multicore", "cluster")),),
-            metrics=("mp_total", "sm_total", "sm_over_mp"),
-            base_overrides=_EM3D_MODERN,
-            checks=_check_em3d_modern,
-        ),
-    )
-}
+def __getattr__(name: str):
+    if name == "SWEEP_SPECS":
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        return _registry()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def get_sweep(name: str) -> SweepSpec:
-    """Look one shipped spec up, with a did-you-mean on typos."""
-    try:
-        return SWEEP_SPECS[name]
-    except KeyError:
-        import difflib
+    """Deprecated alias for :func:`repro.specs.get_sweep`."""
+    warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+    from repro.specs import get_sweep as _canonical
 
-        matches = difflib.get_close_matches(name, SWEEP_SPECS, n=1, cutoff=0.4)
-        hint = f" (did you mean {matches[0]!r}?)" if matches else ""
-        raise ValueError(
-            f"unknown sweep {name!r}{hint}; available: "
-            + ", ".join(sorted(SWEEP_SPECS))
-        ) from None
+    return _canonical(name)

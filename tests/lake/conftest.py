@@ -1,0 +1,32 @@
+"""Shared lake fixtures: two tiny EM3D records, simulated once."""
+
+import pytest
+
+#: A grid small enough that the pair simulates in well under a second.
+TINY_EM3D = {
+    "procs": 2,
+    "app": {"nodes_per_proc": 8, "degree": 2, "iterations": 2},
+}
+
+
+@pytest.fixture(scope="session")
+def em3d_records():
+    """One paper-preset and one multicore-preset EM3D RunRecord."""
+    from repro.runner.api import record_for
+
+    paper = record_for("em3d", dict(TINY_EM3D), use_cache=False)
+    multicore = record_for(
+        "em3d", {**TINY_EM3D, "preset": "multicore"}, use_cache=False
+    )
+    return paper, multicore
+
+
+@pytest.fixture
+def lake(tmp_path, em3d_records):
+    """A fresh lake holding both records."""
+    from repro.lake import RunLake
+
+    with RunLake(tmp_path / "lake.sqlite") as store:
+        for record in em3d_records:
+            assert store.ingest_record(record)
+        yield store

@@ -84,6 +84,16 @@ class TestHealthz:
         ids = [entry["id"] for entry in listing["experiments"]]
         assert "validation" in ids and "em3d" in ids
 
+    def test_specs_listing(self, server):
+        status, listing = get(server, "/v1/specs")
+        assert status == 200
+        by_id = {entry["id"]: entry for entry in listing["specs"]}
+        assert "em3d-latency" in by_id
+        assert by_id["em3d-latency"]["kind"] == "sweep"
+        assert by_id["em3d-latency"]["experiment"] == "em3d"
+        assert "em3d-multicore" in by_id
+        assert by_id["em3d-multicore"]["kind"] == "experiment"
+
 
 class TestRunLifecycle:
     def test_cold_then_warm_roundtrip(self, server):

@@ -1,0 +1,162 @@
+"""YAML specs resolve bit-identically to the old Python registrations.
+
+The four shipped sweeps used to be Python ``SweepSpec(...)`` calls in
+``repro.sweep.specs``; they are YAML documents now. This test
+reconstructs the old registrations verbatim (descriptions, grids,
+crossovers — the callables come from :mod:`repro.specs.library`, the
+same objects the YAML loader resolves by name) and asserts dataclass
+equality, so a YAML drift from the historical registration is a test
+failure, not a silent behaviour change. Experiment specs must resolve
+to the exact ``ExperimentConfig`` (same cache key) that
+``api.resolve_config`` builds from the same overrides.
+"""
+
+from repro.runner.api import resolve_config
+from repro.runner.cache import key_for_jsonable
+from repro.specs import (
+    CHECKS,
+    DERIVES,
+    discovered_experiments,
+    discovered_sweeps,
+)
+from repro.sweep.spec import CrossoverSpec, SweepSpec
+
+#: The historical Python registrations, verbatim.
+_EM3D_SMALL = {
+    "procs": 4,
+    "app": {"nodes_per_proc": 40, "degree": 4, "iterations": 3},
+}
+_EM3D_MODERN = {
+    "procs": 16,
+    "app": {"nodes_per_proc": 16, "degree": 4, "iterations": 3},
+}
+
+LEGACY_SPECS = {
+    spec.name: spec
+    for spec in (
+        SweepSpec(
+            name="em3d-latency",
+            exp_id="em3d",
+            description=(
+                "EM3D cycle totals vs network latency: the MP version's "
+                "split-phase sends hide latency the SM version eats as "
+                "remote-miss stalls, so MP's win grows with latency and "
+                "shrinks toward parity as the network gets faster."
+            ),
+            axes=(("net_latency", (0, 25, 50, 100, 200)),),
+            metrics=("mp_total", "sm_total", "sm_over_mp"),
+            base_overrides=_EM3D_SMALL,
+            crossovers=(
+                CrossoverSpec(
+                    name="sm-catches-mp",
+                    metric="sm_over_mp",
+                    level=1.0,
+                    description="latency below which SM would match MP",
+                ),
+            ),
+            checks=CHECKS["em3d-latency"],
+        ),
+        SweepSpec(
+            name="em3d-cache",
+            exp_id="em3d",
+            description=(
+                "EM3D-SM data-access share vs cache size: below the "
+                "working set the share of time spent in shared/private "
+                "misses climbs steeply; MP's locally-allocated graph "
+                "halves make it far less cache-sensitive."
+            ),
+            axes=(("cache_kb", (2, 4, 8, 16)),),
+            metrics=("sm_data_access_share", "sm_total", "mp_total"),
+            base_overrides=_EM3D_SMALL,
+            checks=CHECKS["em3d-cache"],
+        ),
+        SweepSpec(
+            name="gauss-speedup",
+            exp_id="gauss",
+            description=(
+                "Gauss cycle totals vs processor count on a fixed n=64 "
+                "problem: both versions speed up monotonically, and the "
+                "SM version overtakes MP as the MP broadcast of pivot "
+                "rows grows with the processor count."
+            ),
+            axes=(("procs", (1, 2, 4, 8)),),
+            metrics=("mp_total", "sm_total", "sm_over_mp"),
+            base_overrides={"app": {"n": 64}},
+            crossovers=(
+                CrossoverSpec(
+                    name="sm-overtakes-mp",
+                    metric="sm_over_mp",
+                    level=1.0,
+                    description="procs at which SM becomes faster than MP",
+                ),
+            ),
+            checks=CHECKS["gauss-speedup"],
+            derive=DERIVES["speedup-vs-first"],
+        ),
+        SweepSpec(
+            name="em3d-modern",
+            exp_id="em3d",
+            description=(
+                "EM3D across machine generations: the paper's CM-5 "
+                "table, a multicore-era table (on-chip network, memory "
+                "wall), and a cluster of multicores with two-level "
+                "latency. The memory wall makes SM's remote misses "
+                "dearer while MP's split-phase sends keep hiding "
+                "latency, so MP's 1994 win survives — and grows — on "
+                "modern parameters."
+            ),
+            axes=(("preset", ("paper", "multicore", "cluster")),),
+            metrics=("mp_total", "sm_total", "sm_over_mp"),
+            base_overrides=_EM3D_MODERN,
+            checks=CHECKS["em3d-modern"],
+        ),
+    )
+}
+
+
+def test_all_four_shipped_sweeps_discovered():
+    assert set(LEGACY_SPECS) <= set(discovered_sweeps())
+
+
+def test_yaml_sweeps_equal_legacy_registrations_bit_for_bit():
+    yaml_specs = discovered_sweeps()
+    for name, legacy in LEGACY_SPECS.items():
+        assert yaml_specs[name] == legacy, name
+
+
+def test_yaml_sweep_base_configs_share_cache_keys_with_legacy():
+    yaml_specs = discovered_sweeps()
+    for name, legacy in LEGACY_SPECS.items():
+        via_yaml = resolve_config(
+            yaml_specs[name].exp_id, yaml_specs[name].base_overrides
+        )
+        via_python = resolve_config(legacy.exp_id, legacy.base_overrides)
+        assert via_yaml == via_python
+        assert key_for_jsonable(via_yaml.to_jsonable()) == key_for_jsonable(
+            via_python.to_jsonable()
+        ), name
+
+
+def test_checks_and_derive_are_the_library_objects():
+    yaml_specs = discovered_sweeps()
+    assert yaml_specs["em3d-latency"].checks is CHECKS["em3d-latency"]
+    assert yaml_specs["gauss-speedup"].derive is DERIVES["speedup-vs-first"]
+
+
+def test_experiment_specs_resolve_like_api_resolve_config():
+    docs = discovered_experiments()
+    assert {"em3d-small", "em3d-multicore", "em3d-cluster", "gauss-n64"} <= set(
+        docs
+    )
+    for doc in docs.values():
+        direct = resolve_config(doc.experiment, doc.overrides or None)
+        assert doc.resolve() == direct
+        assert key_for_jsonable(doc.resolve().to_jsonable()) == key_for_jsonable(
+            direct.to_jsonable()
+        ), doc.id
+
+
+def test_modern_experiment_specs_pin_presets():
+    docs = discovered_experiments()
+    assert docs["em3d-multicore"].resolve().preset == "multicore"
+    assert docs["em3d-cluster"].resolve().preset == "cluster"

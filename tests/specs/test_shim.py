@@ -1,0 +1,63 @@
+"""The deprecated ``repro.sweep.specs`` shim round-trips through YAML."""
+
+import warnings
+
+import pytest
+
+import repro.sweep
+from repro.specs import discovered_sweeps
+from repro.specs import get_sweep as canonical_get_sweep
+from repro.sweep import specs as sweep_specs
+from repro.sweep.spec import SweepSpec
+
+
+def test_sweep_specs_attribute_warns():
+    with pytest.warns(DeprecationWarning, match="repro.sweep.specs is deprecated"):
+        registry = sweep_specs.SWEEP_SPECS
+    assert "em3d-latency" in registry
+
+
+def test_shim_dict_is_identity_stable():
+    with pytest.warns(DeprecationWarning):
+        first = sweep_specs.SWEEP_SPECS
+    with pytest.warns(DeprecationWarning):
+        second = sweep_specs.SWEEP_SPECS
+    assert first is second  # monkeypatch.setitem must hit the live dict
+
+
+def test_shim_round_trips_the_yaml_loader():
+    with pytest.warns(DeprecationWarning):
+        registry = sweep_specs.SWEEP_SPECS
+    yaml_specs = discovered_sweeps()
+    for name in ("em3d-latency", "em3d-cache", "gauss-speedup", "em3d-modern"):
+        assert registry[name] == yaml_specs[name]
+
+
+def test_shim_get_sweep_warns_and_matches_canonical():
+    with pytest.warns(DeprecationWarning):
+        via_shim = sweep_specs.get_sweep("em3d-latency")
+    assert via_shim == canonical_get_sweep("em3d-latency")
+
+
+def test_package_get_sweep_is_canonical_and_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        spec = repro.sweep.get_sweep("em3d-latency")
+    assert spec == canonical_get_sweep("em3d-latency")
+
+
+def test_registry_injection_still_resolves(monkeypatch):
+    injected = SweepSpec(
+        name="injected",
+        exp_id="em3d",
+        axes=(("procs", (1, 2)),),
+        metrics=("mp_total",),
+    )
+    with pytest.warns(DeprecationWarning):
+        monkeypatch.setitem(sweep_specs.SWEEP_SPECS, "injected", injected)
+    assert canonical_get_sweep("injected") is injected
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        sweep_specs.no_such_name
